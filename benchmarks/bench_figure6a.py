@@ -1,0 +1,48 @@
+"""Benchmark: Figure 6(a) — ACS vs WCS on random task sets.
+
+The paper sweeps 2–10 tasks and BCEC/WCEC ∈ {0.1, 0.5, 0.9} with 100 task sets
+× 1000 hyperperiods per point.  The benchmark uses a scaled-down sweep (the
+full setting is available through ``repro-experiments figure6a --full``) and
+checks the figure's two trends:
+
+* the improvement of ACS over WCS grows with the number of tasks, and
+* it shrinks as the BCEC/WCEC ratio approaches 1.
+"""
+
+
+from repro.experiments.figure6a import Figure6aConfig, run_figure6a
+
+#: Scaled-down sweep: divisor-friendly periods keep the NLP small.
+BENCH_CONFIG = Figure6aConfig(
+    task_counts=(2, 4, 6),
+    bcec_wcec_ratios=(0.1, 0.5, 0.9),
+    tasksets_per_point=2,
+    hyperperiods_per_taskset=10,
+    periods=(10.0, 20.0, 40.0, 80.0),
+    seed=2005,
+)
+
+
+def test_figure6a_random_tasksets(benchmark, run_once):
+    result = run_once(benchmark, run_figure6a, BENCH_CONFIG)
+
+    print()
+    print("Figure 6(a): improvement of ACS over WCS (%) by task count and BCEC/WCEC ratio")
+    print(result.to_markdown())
+
+    # No deadline may ever be missed.
+    assert all(point.deadline_misses == 0 for point in result.points)
+
+    # Trend 1: at high workload variation (ratio 0.1) the improvement is substantial.
+    largest = result.point(max(BENCH_CONFIG.task_counts), 0.1)
+    assert largest.mean_improvement_percent > 15.0
+
+    # Trend 2: for every task count, ratio 0.1 beats ratio 0.9 (small noise allowance).
+    for n_tasks in BENCH_CONFIG.task_counts:
+        low = result.point(n_tasks, 0.1).mean_improvement_percent
+        high = result.point(n_tasks, 0.9).mean_improvement_percent
+        assert low >= high - 3.0
+
+    # Trend 3: more tasks give ACS at least as much room at ratio 0.1 (loose check).
+    series = result.series(0.1)
+    assert series[-1][1] >= series[0][1] - 5.0

@@ -1,0 +1,60 @@
+"""Micro-benchmarks: cost of the building blocks as the problem grows.
+
+Not a paper figure — these timings document the scalability envelope of the
+reproduction (the paper reports its NLP sizes only indirectly via the
+"maximum one thousand sub-instances" cap):
+
+* fully preemptive expansion of a hyperperiod,
+* one evaluation of the analytic average-case objective,
+* a complete WCS NLP solve,
+* one simulated hyperperiod of the runtime DVS.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.preemption import expand_fully_preemptive
+from repro.offline.evaluation import evaluate_vectors
+from repro.offline.initialization import worst_case_simulation_vectors
+from repro.offline.wcs import WCSScheduler
+from repro.offline.nlp import SolverOptions
+from repro.runtime.simulator import DVSSimulator, SimulationConfig
+from repro.workloads.distributions import NormalWorkload
+from repro.workloads.random_tasksets import RandomTaskSetConfig, generate_random_taskset
+
+
+def _taskset(processor, n_tasks):
+    config = RandomTaskSetConfig(n_tasks=n_tasks, periods=(10.0, 20.0, 40.0, 80.0),
+                                 bcec_wcec_ratio=0.5)
+    return generate_random_taskset(config, processor, np.random.default_rng(n_tasks))
+
+
+@pytest.mark.parametrize("n_tasks", [4, 8])
+def test_benchmark_expansion(benchmark, processor, n_tasks):
+    taskset = _taskset(processor, n_tasks)
+    expansion = benchmark(expand_fully_preemptive, taskset)
+    assert len(expansion) >= n_tasks
+
+
+@pytest.mark.parametrize("n_tasks", [4, 8])
+def test_benchmark_analytic_evaluation(benchmark, processor, n_tasks):
+    taskset = _taskset(processor, n_tasks)
+    expansion = expand_fully_preemptive(taskset)
+    end_times, budgets = worst_case_simulation_vectors(expansion, processor)
+    outcome = benchmark(evaluate_vectors, expansion, end_times, budgets, processor)
+    assert outcome.energy > 0
+
+
+def test_benchmark_wcs_solve(benchmark, processor):
+    taskset = _taskset(processor, 4)
+    scheduler = WCSScheduler(processor, options=SolverOptions(maxiter=60))
+    schedule = benchmark.pedantic(scheduler.schedule, args=(taskset,), rounds=1, iterations=1)
+    schedule.validate(processor)
+
+
+def test_benchmark_simulated_hyperperiod(benchmark, processor):
+    taskset = _taskset(processor, 8)
+    schedule = WCSScheduler(processor, options=SolverOptions(maxiter=40)).schedule(taskset)
+    simulator = DVSSimulator(processor, config=SimulationConfig(n_hyperperiods=1, seed=1))
+    result = benchmark(simulator.run, schedule, NormalWorkload())
+    assert result.total_energy > 0

@@ -1,0 +1,32 @@
+"""Benchmark: the motivational example (Table 1, Figures 1 and 2).
+
+Regenerates the four energies of the paper's Section 2.2 narrative and checks
+the two headline percentages' direction: ACS-style end-times save energy in
+the average case (paper: ≈24 %) and cost extra if the worst case strikes
+(paper: ≈33 %).
+"""
+
+
+from repro.experiments.motivation import run_motivation
+
+
+def test_table1_motivational_example(benchmark, run_once):
+    result = run_once(benchmark, run_motivation)
+
+    print()
+    print("Motivational example (Table 1 / Figures 1-2)")
+    print(result.to_markdown())
+    print(f"WCS end-times: {[round(e, 2) for e in result.wcs_end_times]}")
+    print(f"ACS end-times: {[round(e, 2) for e in result.acs_end_times]}")
+    print(f"average-case improvement: {result.improvement_average_case_percent:.1f}% (paper ≈24%)")
+    print(f"worst-case penalty:       {result.penalty_worst_case_percent:.1f}% (paper ≈33%)")
+
+    # Shape assertions (not absolute-value matches).
+    assert result.wcs_end_times[0] < result.acs_end_times[0]
+    assert result.improvement_average_case_percent > 10.0
+    assert result.penalty_worst_case_percent >= 0.0
+    # Figure 1(a) end-times: the WCEC-optimal schedule splits the frame evenly.
+    assert abs(result.wcs_end_times[0] - 20 / 3) < 0.2
+    # Figure 2 end-times and the ≈33 % worst-case penalty from the paper's text.
+    assert abs(result.acs_end_times[0] - 10.0) < 0.5
+    assert abs(result.penalty_worst_case_percent - 33.3) < 8.0

@@ -1,0 +1,14 @@
+"""Pytest bootstrap: make the src-layout package importable without installation.
+
+The repository uses a ``src/`` layout.  When the package has been installed
+(``pip install -e .``) this file is a no-op; otherwise it prepends ``src/`` to
+``sys.path`` so the test suite and the benchmarks run directly from a fresh
+checkout (useful on machines without network access for build back-ends).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""The paper's motivational example (Table 1, Figures 1 and 2).
+
+Three tasks share a 20 ms frame.  The energy-optimal schedule for the worst
+case stretches each task over an equal share of the frame (end-times
+6.7 / 13.3 / 20 ms — Figure 1a).  Because the tasks usually need far fewer
+cycles, greedy slack reclamation already helps (Figure 1b) — but end-times
+chosen with the *average* case in mind (the ACS idea, Figure 2) do noticeably
+better, at the price of a higher energy bill in the rare worst case.
+
+Run with:  python examples/motivational_example.py
+"""
+
+from repro.experiments.motivation import MotivationConfig, run_motivation
+
+
+def main() -> None:
+    config = MotivationConfig()
+    result = run_motivation(config)
+
+    print("Reconstructed motivational example (three tasks, 20 ms frame)")
+    print()
+    print(result.to_markdown())
+    print()
+    print(f"WCS end-times (Fig. 1):  {[round(e, 2) for e in result.wcs_end_times]} ms")
+    print(f"ACS end-times (Fig. 2):  {[round(e, 2) for e in result.acs_end_times]} ms")
+    print()
+    print(f"Average-case energy reduction of the ACS end-times: "
+          f"{result.improvement_average_case_percent:.1f}%  (paper: ≈24 %)")
+    print(f"Worst-case energy penalty of the ACS end-times:     "
+          f"{result.penalty_worst_case_percent:.1f}%  (paper: ≈33 %)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Random task-set sweep (a scaled-down Figure 6(a)).
+
+Generates random task sets of increasing size at 70 % worst-case utilisation,
+schedules each with ACS and WCS, simulates both under the truncated-normal
+workload and prints the mean energy improvement per (task count, BCEC/WCEC
+ratio) point — the series of the paper's Figure 6(a).
+
+Run with:  python examples/random_taskset_sweep.py            (a few minutes)
+           python examples/random_taskset_sweep.py --quick    (seconds)
+"""
+
+import argparse
+
+from repro.experiments.figure6a import Figure6aConfig, run_figure6a
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="tiny sample sizes for a fast demo")
+    parser.add_argument("--seed", type=int, default=2005)
+    args = parser.parse_args()
+
+    if args.quick:
+        config = Figure6aConfig(task_counts=(2, 4), bcec_wcec_ratios=(0.1, 0.9),
+                                tasksets_per_point=2, hyperperiods_per_taskset=10, seed=args.seed)
+    else:
+        config = Figure6aConfig(task_counts=(2, 4, 6), bcec_wcec_ratios=(0.1, 0.5, 0.9),
+                                tasksets_per_point=3, hyperperiods_per_taskset=20, seed=args.seed)
+
+    result = run_figure6a(config, verbose=True)
+    print()
+    print("Improvement of ACS over WCS (percent, runtime energy):")
+    print(result.to_markdown())
+    print()
+    print("Paper (Fig. 6a): improvement grows with the task count, peaks ≈60 % at ratio 0.1, "
+          "and vanishes as the ratio approaches 1.")
+
+
+if __name__ == "__main__":
+    main()

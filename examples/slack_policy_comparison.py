@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Compare online slack-reclamation policies on the same static schedule.
+
+The paper uses greedy reclamation; this example shows how much of the energy
+saving comes from the static ACS schedule versus the online policy, by running
+the same ACS schedule with three different policies (and WCS/greedy as the
+reference point):
+
+* ``static``       — run at the statically planned worst-case speed (no reclamation);
+* ``greedy``       — the paper's policy (stretch to the sub-instance end-time);
+* ``proportional`` — stretch the whole job's remaining work to the job deadline.
+
+Run with:  python examples/slack_policy_comparison.py
+"""
+
+import numpy as np
+
+from repro import (
+    ACSScheduler,
+    DVSSimulator,
+    NormalWorkload,
+    SimulationConfig,
+    Task,
+    TaskSet,
+    WCSScheduler,
+    ideal_processor,
+)
+from repro.runtime.dvs import get_slack_policy
+from repro.utils.tables import format_markdown_table
+
+
+def main() -> None:
+    processor = ideal_processor(fmax=1000.0)
+    taskset = TaskSet([
+        Task("camera", period=10, wcec=3000, acec=1650, bcec=300),
+        Task("planner", period=20, wcec=8000, acec=4400, bcec=800),
+        Task("logger", period=40, wcec=6000, acec=3300, bcec=600),
+    ], name="policy-demo")
+
+    acs_schedule = ACSScheduler(processor).schedule(taskset)
+    wcs_schedule = WCSScheduler(processor).schedule(taskset)
+    workload = NormalWorkload()
+
+    rows = []
+    for schedule, schedule_name in ((wcs_schedule, "wcs"), (acs_schedule, "acs")):
+        for policy_name in ("static", "greedy", "proportional"):
+            simulator = DVSSimulator(
+                processor,
+                policy=get_slack_policy(policy_name),
+                config=SimulationConfig(n_hyperperiods=100),
+            )
+            result = simulator.run(schedule, workload, np.random.default_rng(7))
+            rows.append([schedule_name, policy_name,
+                         result.mean_energy_per_hyperperiod, result.miss_count])
+
+    print(format_markdown_table(
+        ["static schedule", "online policy", "energy / hyperperiod", "deadline misses"], rows))
+    print()
+    print("Reading the table: greedy reclamation on ACS end-times (the paper's combination) "
+          "gives the lowest energy; the proportional policy can be cheaper still but does not "
+          "preserve the worst-case guarantee.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,156 @@
+"""repro — reproduction of "Exploiting Dynamic Workload Variation in Low Energy
+Preemptive Task Scheduling" (Leung, Hu, Quan — DATE 2005).
+
+The package implements the paper's ACS offline voltage scheduler together with
+every substrate it needs:
+
+* :mod:`repro.core` — periodic task / job / sub-instance model;
+* :mod:`repro.power` — DVS processor model (delay law, energy law, discrete
+  levels, transition overheads);
+* :mod:`repro.analysis` — schedulability analysis and the fully preemptive
+  schedule expansion;
+* :mod:`repro.offline` — the ACS NLP, the WCS baseline, the literal NLP
+  formulation and simpler baselines;
+* :mod:`repro.runtime` — the discrete-event runtime simulator with online DVS
+  and slack reclamation;
+* :mod:`repro.workloads` — workload distributions, random task sets and the
+  CNC / GAP case studies;
+* :mod:`repro.experiments` — harnesses regenerating every table and figure.
+
+Quickstart::
+
+    from repro import (Task, TaskSet, ideal_processor, ACSScheduler,
+                       WCSScheduler, DVSSimulator, SimulationConfig,
+                       NormalWorkload, improvement_percent)
+
+    tasks = [Task("control", period=10, wcec=3000, acec=1500, bcec=600),
+             Task("sensing", period=20, wcec=8000, acec=4400, bcec=800),
+             Task("logging", period=40, wcec=9000, acec=5000, bcec=1000)]
+    taskset = TaskSet(tasks)
+    processor = ideal_processor()
+
+    acs = ACSScheduler(processor).schedule(taskset)
+    wcs = WCSScheduler(processor).schedule(taskset)
+
+    simulator = DVSSimulator(processor, config=SimulationConfig(n_hyperperiods=100, seed=1))
+    acs_energy = simulator.run(acs, NormalWorkload()).mean_energy_per_hyperperiod
+    wcs_energy = simulator.run(wcs, NormalWorkload()).mean_energy_per_hyperperiod
+    print(improvement_percent(wcs_energy, acs_energy))
+"""
+
+from .analysis import (
+    FullyPreemptiveSchedule,
+    breakdown_frequency,
+    check_feasibility,
+    expand_fully_preemptive,
+    is_schedulable,
+    response_times,
+)
+from .core import (
+    ExecutionSegment,
+    ReproError,
+    SubInstance,
+    Task,
+    TaskInstance,
+    TaskSet,
+    Timeline,
+    fill_average_workloads,
+)
+from .offline import (
+    ACSScheduler,
+    ConstantSpeedScheduler,
+    LiteralNLPScheduler,
+    MaxSpeedScheduler,
+    SolverOptions,
+    StaticSchedule,
+    WCSScheduler,
+    average_case_energy,
+    frame_based_taskset,
+    worst_case_energy,
+)
+from .power import (
+    ProcessorModel,
+    TransitionModel,
+    VoltageLevels,
+    cmos_processor,
+    ideal_processor,
+    normalized_processor,
+)
+from .runtime import (
+    DVSSimulator,
+    GreedySlackPolicy,
+    NoReclamationPolicy,
+    ProportionalSlackPolicy,
+    SimulationConfig,
+    SimulationResult,
+    improvement_percent,
+)
+from .workloads import (
+    BimodalWorkload,
+    FixedWorkload,
+    NormalWorkload,
+    RandomTaskSetConfig,
+    UniformWorkload,
+    cnc_taskset,
+    gap_taskset,
+    generate_random_taskset,
+    generate_random_tasksets,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "Task",
+    "TaskInstance",
+    "SubInstance",
+    "TaskSet",
+    "Timeline",
+    "ExecutionSegment",
+    "ReproError",
+    "fill_average_workloads",
+    # analysis
+    "FullyPreemptiveSchedule",
+    "expand_fully_preemptive",
+    "check_feasibility",
+    "response_times",
+    "is_schedulable",
+    "breakdown_frequency",
+    # power
+    "ProcessorModel",
+    "VoltageLevels",
+    "TransitionModel",
+    "ideal_processor",
+    "cmos_processor",
+    "normalized_processor",
+    # offline
+    "ACSScheduler",
+    "WCSScheduler",
+    "LiteralNLPScheduler",
+    "MaxSpeedScheduler",
+    "ConstantSpeedScheduler",
+    "StaticSchedule",
+    "SolverOptions",
+    "average_case_energy",
+    "worst_case_energy",
+    "frame_based_taskset",
+    # runtime
+    "DVSSimulator",
+    "SimulationConfig",
+    "SimulationResult",
+    "GreedySlackPolicy",
+    "NoReclamationPolicy",
+    "ProportionalSlackPolicy",
+    "improvement_percent",
+    # workloads
+    "NormalWorkload",
+    "UniformWorkload",
+    "FixedWorkload",
+    "BimodalWorkload",
+    "RandomTaskSetConfig",
+    "generate_random_taskset",
+    "generate_random_tasksets",
+    "cnc_taskset",
+    "gap_taskset",
+]

@@ -1,0 +1,28 @@
+"""Schedulability analysis and the fully preemptive schedule expansion."""
+
+from .feasibility import FeasibilityReport, assert_feasible, check_feasibility
+from .preemption import FullyPreemptiveSchedule, expand_fully_preemptive
+from .response_time import breakdown_frequency, is_schedulable, response_times
+from .utilization import (
+    average_utilization,
+    liu_layland_bound,
+    minimum_constant_frequency,
+    passes_liu_layland,
+    total_utilization,
+)
+
+__all__ = [
+    "FeasibilityReport",
+    "check_feasibility",
+    "assert_feasible",
+    "FullyPreemptiveSchedule",
+    "expand_fully_preemptive",
+    "response_times",
+    "is_schedulable",
+    "breakdown_frequency",
+    "total_utilization",
+    "average_utilization",
+    "liu_layland_bound",
+    "passes_liu_layland",
+    "minimum_constant_frequency",
+]

@@ -1,0 +1,95 @@
+"""Combined feasibility checks used before offline voltage scheduling.
+
+The offline NLP assumes the task set is schedulable at the processor's maximum
+speed (otherwise no voltage schedule exists at all).  This module bundles the
+necessary-and-sufficient fixed-priority response-time test with a
+sub-instance-level check of the fully preemptive expansion: every sub-instance
+chain must fit between release times and deadlines when everything runs at
+``fmax``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.errors import InfeasibleTaskSetError
+from ..core.taskset import TaskSet
+from ..power.processor import ProcessorModel
+from .preemption import FullyPreemptiveSchedule, expand_fully_preemptive
+from .response_time import is_schedulable, response_times
+from .utilization import total_utilization
+
+__all__ = ["FeasibilityReport", "check_feasibility", "assert_feasible"]
+
+
+@dataclass(frozen=True)
+class FeasibilityReport:
+    """Outcome of :func:`check_feasibility`."""
+
+    schedulable: bool
+    utilization: float
+    response_times: Dict[str, float]
+    violations: List[str]
+
+    def __bool__(self) -> bool:
+        return self.schedulable
+
+
+def check_feasibility(taskset: TaskSet, processor: ProcessorModel,
+                      expansion: Optional[FullyPreemptiveSchedule] = None) -> FeasibilityReport:
+    """Check that ``taskset`` can meet all deadlines at maximum speed.
+
+    Returns a report rather than raising, so experiment harnesses can simply
+    regenerate infeasible random task sets.
+    """
+    violations: List[str] = []
+    utilization = total_utilization(taskset, processor)
+    if utilization > 1.0 + 1e-9:
+        violations.append(f"utilisation {utilization:.3f} exceeds 1 at maximum frequency")
+    times = response_times(taskset, processor)
+    for task in taskset:
+        if times[task.name] > task.deadline + 1e-9:
+            violations.append(
+                f"task {task.name}: worst-case response time {times[task.name]:.4g} "
+                f"exceeds deadline {task.deadline:.4g}"
+            )
+    if not violations:
+        # Structural check on the fully preemptive expansion: the cumulative
+        # worst-case demand along the total order must fit at fmax.  This is a
+        # necessary condition for the NLP's chain constraints to have any
+        # feasible point.
+        expansion = expansion or expand_fully_preemptive(taskset)
+        earliest_finish = 0.0
+        demand_by_instance: Dict[str, float] = {}
+        for sub in expansion.sub_instances:
+            key = sub.instance.key
+            total_subs = len(expansion.sub_instances_of(sub.instance))
+            # Even spread of the WCEC across sub-instances gives a lower bound
+            # on the chain demand; the NLP may redistribute but the total is fixed.
+            demand_by_instance.setdefault(key, sub.instance.wcec / total_subs)
+        # A simple busy-period style check: total worst-case cycles in the
+        # hyperperiod must fit within the hyperperiod at fmax.
+        total_cycles = taskset.total_wcec_per_hyperperiod()
+        if total_cycles > processor.max_cycles_in(expansion.horizon) + 1e-9:
+            violations.append(
+                f"total worst-case demand {total_cycles:.4g} cycles exceeds the processor "
+                f"capacity {processor.max_cycles_in(expansion.horizon):.4g} over one hyperperiod"
+            )
+    return FeasibilityReport(
+        schedulable=not violations,
+        utilization=utilization,
+        response_times=times,
+        violations=violations,
+    )
+
+
+def assert_feasible(taskset: TaskSet, processor: ProcessorModel) -> FeasibilityReport:
+    """Like :func:`check_feasibility` but raises :class:`InfeasibleTaskSetError` on failure."""
+    report = check_feasibility(taskset, processor)
+    if not report.schedulable:
+        raise InfeasibleTaskSetError(
+            f"task set {taskset.name!r} is not schedulable at maximum speed: "
+            + "; ".join(report.violations)
+        )
+    return report

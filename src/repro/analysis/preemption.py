@@ -1,0 +1,191 @@
+"""Fully preemptive schedule expansion (Section 3.1 of the paper).
+
+The offline NLP needs a *fixed structure* to optimise over: because a lower
+priority job can be preempted every time a higher-priority job is released
+inside its execution window, the job is split into the maximal set of
+*sub-instances* at exactly those release points.  The expansion also yields a
+total execution order over all sub-instances in the hyperperiod — the order in
+which the chain constraints of the NLP link consecutive end-times.
+
+Construction
+------------
+For every job (task instance) with window ``[release, deadline)``:
+
+* the *split points* are the release times of strictly higher-priority jobs
+  that fall strictly inside the window;
+* the job is divided into ``len(split points) + 1`` sub-instances whose *slots*
+  are the intervals between consecutive split points (the first slot starts at
+  the job's release, the last ends at its deadline).
+
+The total order sorts all sub-instances by ``(slot start, priority, task name,
+sub index)``.  This is exactly the execution order of the canonical fully
+preemptive schedule: when a higher-priority job is released, it runs before
+the remaining chunk of the preempted lower-priority job, and chunks of the same
+job stay in index order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import AnalysisError
+from ..core.task import SubInstance, TaskInstance
+from ..core.taskset import TaskSet
+
+__all__ = ["FullyPreemptiveSchedule", "expand_fully_preemptive"]
+
+
+@dataclass
+class FullyPreemptiveSchedule:
+    """The result of :func:`expand_fully_preemptive`.
+
+    Attributes
+    ----------
+    taskset:
+        The task set that was expanded.
+    horizon:
+        Length of the expansion window (one hyperperiod by default).
+    instances:
+        Every job released in ``[0, horizon)`` in canonical order.
+    sub_instances:
+        Every sub-instance, sorted by the total execution order; each carries
+        its ``order`` index.
+    """
+
+    taskset: TaskSet
+    horizon: float
+    instances: List[TaskInstance]
+    sub_instances: List[SubInstance]
+    _by_instance: Dict[str, List[SubInstance]] = field(init=False, repr=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        by_instance: Dict[str, List[SubInstance]] = {}
+        for sub in self.sub_instances:
+            by_instance.setdefault(sub.instance.key, []).append(sub)
+        for key, subs in by_instance.items():
+            by_instance[key] = sorted(subs, key=lambda s: s.sub_index)
+        self._by_instance = by_instance
+
+    def __len__(self) -> int:
+        return len(self.sub_instances)
+
+    def sub_instances_of(self, instance: TaskInstance) -> List[SubInstance]:
+        """The sub-instances of ``instance`` in index order."""
+        try:
+            return list(self._by_instance[instance.key])
+        except KeyError:
+            raise AnalysisError(f"unknown instance {instance.key!r}") from None
+
+    def max_sub_instances_per_job(self) -> int:
+        """The largest number of sub-instances any single job was split into."""
+        return max((len(subs) for subs in self._by_instance.values()), default=0)
+
+    def total_order_keys(self) -> List[str]:
+        """Stable keys of all sub-instances in execution order (useful in tests)."""
+        return [sub.key for sub in self.sub_instances]
+
+    def validate(self) -> None:
+        """Check structural invariants of the expansion.
+
+        * slots of the sub-instances of one job tile its window exactly;
+        * the total order is consistent with slot starts and priorities;
+        * order indices are consecutive from 0.
+        """
+        for instance in self.instances:
+            subs = self.sub_instances_of(instance)
+            if not subs:
+                raise AnalysisError(f"instance {instance.key} has no sub-instances")
+            if abs(subs[0].slot_start - instance.release) > 1e-9:
+                raise AnalysisError(
+                    f"instance {instance.key}: first slot starts at {subs[0].slot_start}, "
+                    f"expected the release time {instance.release}"
+                )
+            if abs(subs[-1].slot_end - instance.deadline) > 1e-9:
+                raise AnalysisError(
+                    f"instance {instance.key}: last slot ends at {subs[-1].slot_end}, "
+                    f"expected the deadline {instance.deadline}"
+                )
+            for earlier, later in zip(subs, subs[1:]):
+                if abs(earlier.slot_end - later.slot_start) > 1e-9:
+                    raise AnalysisError(
+                        f"instance {instance.key}: slots are not contiguous between "
+                        f"sub-instances {earlier.sub_index} and {later.sub_index}"
+                    )
+        expected_orders = list(range(len(self.sub_instances)))
+        actual_orders = [sub.order for sub in self.sub_instances]
+        if actual_orders != expected_orders:
+            raise AnalysisError("sub-instance order indices are not consecutive from zero")
+        for earlier, later in zip(self.sub_instances, self.sub_instances[1:]):
+            key_earlier = (earlier.slot_start, earlier.priority, earlier.task.name, earlier.sub_index)
+            key_later = (later.slot_start, later.priority, later.task.name, later.sub_index)
+            if key_earlier > key_later:
+                raise AnalysisError(
+                    f"total order violated between {earlier.key} and {later.key}"
+                )
+
+
+def _split_points_for(instance: TaskInstance, taskset: TaskSet, horizon: float) -> List[float]:
+    """Release times of strictly higher-priority jobs inside the instance's window."""
+    points: List[float] = []
+    for other in taskset:
+        if taskset.priority_of(other) >= instance.priority:
+            continue
+        # Releases of `other` strictly inside (release, deadline).
+        job_index = 0
+        while True:
+            release = other.release_time(job_index)
+            if release >= instance.deadline - 1e-12 or release >= horizon:
+                break
+            if release > instance.release + 1e-12:
+                points.append(release)
+            job_index += 1
+    return sorted(set(points))
+
+
+def expand_fully_preemptive(taskset: TaskSet, horizon: Optional[float] = None) -> FullyPreemptiveSchedule:
+    """Expand every job in ``[0, horizon)`` into its maximal sub-instance set.
+
+    Parameters
+    ----------
+    taskset:
+        The periodic task set (priorities already assigned).
+    horizon:
+        Expansion window; defaults to one hyperperiod, which the paper calls
+        the frame.
+
+    Returns
+    -------
+    FullyPreemptiveSchedule
+        With sub-instances sorted by the total execution order.
+    """
+    if horizon is None:
+        horizon = taskset.hyperperiod
+    if horizon <= 0:
+        raise AnalysisError(f"horizon must be positive, got {horizon}")
+
+    instances = taskset.instances(horizon)
+    raw_subs: List[SubInstance] = []
+    for instance in instances:
+        split_points = _split_points_for(instance, taskset, horizon)
+        boundaries = [instance.release] + split_points + [instance.deadline]
+        for sub_index, (slot_start, slot_end) in enumerate(zip(boundaries, boundaries[1:])):
+            raw_subs.append(
+                SubInstance(
+                    instance=instance,
+                    sub_index=sub_index,
+                    slot_start=slot_start,
+                    slot_end=slot_end,
+                )
+            )
+
+    raw_subs.sort(key=lambda s: (s.slot_start, s.priority, s.task.name, s.sub_index))
+    ordered = [sub.with_order(order) for order, sub in enumerate(raw_subs)]
+    schedule = FullyPreemptiveSchedule(
+        taskset=taskset,
+        horizon=horizon,
+        instances=instances,
+        sub_instances=ordered,
+    )
+    schedule.validate()
+    return schedule

@@ -1,0 +1,56 @@
+"""Utilisation-based schedulability tests for fixed-priority periodic tasks."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..core.taskset import TaskSet
+from ..power.processor import ProcessorModel
+
+__all__ = [
+    "total_utilization",
+    "average_utilization",
+    "liu_layland_bound",
+    "passes_liu_layland",
+    "minimum_constant_frequency",
+]
+
+
+def total_utilization(taskset: TaskSet, processor: ProcessorModel) -> float:
+    """Worst-case utilisation of ``taskset`` at the processor's maximum frequency."""
+    return taskset.utilization(processor.fmax)
+
+
+def average_utilization(taskset: TaskSet, processor: ProcessorModel) -> float:
+    """Average-case utilisation (ACEC instead of WCEC) at maximum frequency."""
+    return taskset.average_utilization(processor.fmax)
+
+
+def liu_layland_bound(n_tasks: int) -> float:
+    """The classic rate-monotonic utilisation bound ``n (2^{1/n} − 1)``."""
+    if n_tasks <= 0:
+        raise ValueError("n_tasks must be positive")
+    return n_tasks * (2.0 ** (1.0 / n_tasks) - 1.0)
+
+
+def passes_liu_layland(taskset: TaskSet, processor: ProcessorModel) -> bool:
+    """Sufficient (not necessary) RM schedulability test at maximum frequency."""
+    return total_utilization(taskset, processor) <= liu_layland_bound(len(taskset)) + 1e-12
+
+
+def minimum_constant_frequency(taskset: TaskSet, processor: ProcessorModel,
+                               *, use_acec: bool = False) -> Optional[float]:
+    """Smallest constant frequency at which the task set remains utilisation-feasible.
+
+    This is the frequency a naive "uniform slowdown" DVS scheme would pick:
+    scale the whole task set so its utilisation becomes exactly 1 (for
+    implicit-deadline RM task sets this is only a necessary condition, so the
+    caller should confirm with response-time analysis).  Returns ``None`` when
+    even the maximum frequency is insufficient.
+    """
+    utilization = (average_utilization if use_acec else total_utilization)(taskset, processor)
+    required = utilization * processor.fmax
+    if required > processor.fmax + 1e-12:
+        return None
+    return max(required, processor.fmin)

@@ -1,0 +1,95 @@
+"""Command-line entry point: ``python -m repro`` or the ``repro-experiments`` script.
+
+Sub-commands regenerate the paper's experiments and print the corresponding
+table to standard output:
+
+* ``motivation`` — Table 1 / Figures 1–2 (the non-preemptive example);
+* ``figure6a``   — random task-set sweep;
+* ``figure6b``   — CNC and GAP case studies.
+
+Use ``--full`` for the paper-scale sample sizes (slow) and ``--quick`` for a
+smoke-test-sized run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments.figure6a import Figure6aConfig, run_figure6a
+from .experiments.figure6b import Figure6bConfig, run_figure6b
+from .experiments.motivation import run_motivation
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the experiments of the DATE 2005 ACS paper.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    motivation = subparsers.add_parser("motivation", help="Table 1 / Figures 1-2")
+    motivation.set_defaults(runner=_run_motivation)
+
+    figure6a = subparsers.add_parser("figure6a", help="random task-set sweep (Figure 6a)")
+    figure6a.add_argument("--quick", action="store_true", help="tiny sample sizes (smoke test)")
+    figure6a.add_argument("--full", action="store_true", help="paper-scale sample sizes (slow)")
+    figure6a.add_argument("--seed", type=int, default=2005)
+    figure6a.set_defaults(runner=_run_figure6a)
+
+    figure6b = subparsers.add_parser("figure6b", help="CNC and GAP case studies (Figure 6b)")
+    figure6b.add_argument("--quick", action="store_true", help="tiny sample sizes (smoke test)")
+    figure6b.add_argument("--full", action="store_true", help="paper-scale sample sizes (slow)")
+    figure6b.add_argument("--seed", type=int, default=2005)
+    figure6b.set_defaults(runner=_run_figure6b)
+
+    return parser
+
+
+def _run_motivation(args: argparse.Namespace) -> str:
+    result = run_motivation()
+    lines = [
+        result.to_markdown(),
+        "",
+        f"average-case improvement of ACS end-times: {result.improvement_average_case_percent:.1f}%",
+        f"worst-case penalty of ACS end-times:       {result.penalty_worst_case_percent:.1f}%",
+    ]
+    return "\n".join(lines)
+
+
+def _run_figure6a(args: argparse.Namespace) -> str:
+    if args.full:
+        config = Figure6aConfig(tasksets_per_point=100, hyperperiods_per_taskset=1000, seed=args.seed)
+    elif args.quick:
+        config = Figure6aConfig(task_counts=(2, 4), tasksets_per_point=2,
+                                hyperperiods_per_taskset=5, seed=args.seed)
+    else:
+        config = Figure6aConfig(seed=args.seed)
+    result = run_figure6a(config, verbose=True)
+    return result.to_markdown()
+
+
+def _run_figure6b(args: argparse.Namespace) -> str:
+    if args.full:
+        config = Figure6bConfig(hyperperiods_per_point=1000, gap_tasks=None, seed=args.seed)
+    elif args.quick:
+        config = Figure6bConfig(hyperperiods_per_point=5, gap_tasks=5, seed=args.seed)
+    else:
+        config = Figure6bConfig(seed=args.seed)
+    result = run_figure6b(config, verbose=True)
+    return result.to_markdown()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    output = args.runner(args)
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,106 @@
+"""Fixed-priority assignment policies.
+
+The paper uses rate-monotonic (RM) priorities: the shorter the period, the
+higher the priority; tasks with equal periods share the priority level.  This
+module also provides deadline-monotonic (DM) assignment and a pass-through
+policy for explicitly specified priorities so that the rest of the library is
+policy-agnostic.
+
+Priorities are integers where a *smaller value means a higher priority* and
+the highest priority is 0.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Sequence
+
+from .errors import InvalidTaskSetError
+from .task import Task
+
+__all__ = [
+    "rate_monotonic_priorities",
+    "deadline_monotonic_priorities",
+    "explicit_priorities",
+    "PriorityPolicy",
+    "get_priority_policy",
+]
+
+PriorityPolicy = Callable[[Sequence[Task]], Dict[str, int]]
+
+
+def _rank_by(tasks: Sequence[Task], key: Callable[[Task], float]) -> Dict[str, int]:
+    """Assign dense ranks by ``key``; ties receive the same priority level."""
+    if not tasks:
+        raise InvalidTaskSetError("cannot assign priorities to an empty task list")
+    ordered = sorted(tasks, key=lambda t: (key(t), t.name))
+    priorities: Dict[str, int] = {}
+    level = -1
+    previous_key = None
+    for task in ordered:
+        current_key = key(task)
+        if previous_key is None or current_key != previous_key:
+            level += 1
+            previous_key = current_key
+        priorities[task.name] = level
+    return priorities
+
+
+def rate_monotonic_priorities(tasks: Sequence[Task]) -> Dict[str, int]:
+    """Rate-monotonic assignment: shorter period → higher priority (lower value)."""
+    return _rank_by(tasks, lambda t: t.period)
+
+
+def deadline_monotonic_priorities(tasks: Sequence[Task]) -> Dict[str, int]:
+    """Deadline-monotonic assignment: shorter relative deadline → higher priority."""
+    return _rank_by(tasks, lambda t: t.deadline)
+
+
+def explicit_priorities(tasks: Sequence[Task]) -> Dict[str, int]:
+    """Use the ``priority`` attribute each task carries.
+
+    Every task must have an explicit priority.  Values are kept as given
+    (ties allowed), matching the paper's convention that equal-period tasks
+    may share a priority level.
+    """
+    priorities: Dict[str, int] = {}
+    for task in tasks:
+        if task.priority is None:
+            raise InvalidTaskSetError(
+                f"task {task.name!r} has no explicit priority; use a priority policy instead"
+            )
+        priorities[task.name] = int(task.priority)
+    return priorities
+
+
+_POLICIES: Dict[str, PriorityPolicy] = {
+    "rm": rate_monotonic_priorities,
+    "rate_monotonic": rate_monotonic_priorities,
+    "dm": deadline_monotonic_priorities,
+    "deadline_monotonic": deadline_monotonic_priorities,
+    "explicit": explicit_priorities,
+}
+
+
+def get_priority_policy(name: str) -> PriorityPolicy:
+    """Look up a priority policy by name (``"rm"``, ``"dm"`` or ``"explicit"``)."""
+    try:
+        return _POLICIES[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(set(_POLICIES)))
+        raise InvalidTaskSetError(f"unknown priority policy {name!r}; known policies: {known}") from None
+
+
+def available_policies() -> List[str]:
+    """Names accepted by :func:`get_priority_policy`."""
+    return sorted(set(_POLICIES))
+
+
+def validate_priorities(tasks: Iterable[Task], priorities: Dict[str, int]) -> None:
+    """Check that ``priorities`` covers every task exactly once."""
+    names = [t.name for t in tasks]
+    missing = [n for n in names if n not in priorities]
+    if missing:
+        raise InvalidTaskSetError(f"priorities missing for tasks: {missing}")
+    extra = [n for n in priorities if n not in names]
+    if extra:
+        raise InvalidTaskSetError(f"priorities given for unknown tasks: {extra}")

@@ -1,0 +1,264 @@
+"""Task, job (task instance) and sub-instance models.
+
+The paper models a *frame-based preemptive hard real-time system*: a set of
+periodic tasks scheduled by a fixed-priority (rate-monotonic) policy on a
+single variable-voltage processor.  Three levels of granularity appear in the
+formulation:
+
+``Task``
+    the static, periodic entity: period, deadline, worst-case execution cycles
+    (WCEC), average-case execution cycles (ACEC) and optionally best-case
+    execution cycles (BCEC).
+
+``TaskInstance``
+    one release (job) of a task inside the hyperperiod, with absolute release
+    time and absolute deadline.
+
+``SubInstance``
+    the piece of a task instance between two potential preemption points in
+    the *fully preemptive schedule* (Section 3.1 of the paper).  The offline
+    NLP assigns each sub-instance an end-time and a worst-case cycle budget;
+    the online DVS policy uses exactly those two numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from .errors import InvalidTaskError
+
+__all__ = ["Task", "TaskInstance", "SubInstance"]
+
+
+@dataclass(frozen=True)
+class Task:
+    """A periodic hard real-time task.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within a :class:`~repro.core.taskset.TaskSet`.
+    period:
+        Release period (time units).  The paper assumes the relative deadline
+        equals the period unless ``deadline`` is given explicitly.
+    wcec:
+        Worst-case execution cycles.
+    acec:
+        Average-case execution cycles (expected value of the workload
+        distribution).  Defaults to ``wcec`` which makes the task behave like
+        a classical worst-case-only task.
+    bcec:
+        Best-case execution cycles.  Defaults to ``acec`` (or ``wcec`` if no
+        ACEC was given).  Only used by runtime workload distributions.
+    deadline:
+        Relative deadline; defaults to the period.
+    ceff:
+        Effective switching capacitance of the task (energy per cycle is
+        ``ceff * Vdd**2``).  The paper allows a per-task capacitance; a value
+        of 1.0 makes the energy unit "cycles × V²".
+    priority:
+        Optional explicit priority (lower value = higher priority).  When left
+        ``None`` the priority policy of the task set (rate monotonic by
+        default) assigns one.
+    phase:
+        Release offset of the first job.  The paper assumes all first
+        instances are released at time 0.
+    """
+
+    name: str
+    period: float
+    wcec: float
+    acec: Optional[float] = None
+    bcec: Optional[float] = None
+    deadline: Optional[float] = None
+    ceff: float = 1.0
+    priority: Optional[int] = None
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise InvalidTaskError("task name must be a non-empty string")
+        if self.period <= 0:
+            raise InvalidTaskError(f"task {self.name!r}: period must be positive, got {self.period}")
+        if self.wcec <= 0:
+            raise InvalidTaskError(f"task {self.name!r}: wcec must be positive, got {self.wcec}")
+        acec = self.wcec if self.acec is None else self.acec
+        bcec = acec if self.bcec is None else self.bcec
+        if acec <= 0:
+            raise InvalidTaskError(f"task {self.name!r}: acec must be positive, got {acec}")
+        if bcec <= 0:
+            raise InvalidTaskError(f"task {self.name!r}: bcec must be positive, got {bcec}")
+        if not (bcec <= acec <= self.wcec + 1e-12):
+            raise InvalidTaskError(
+                f"task {self.name!r}: expected bcec <= acec <= wcec, got "
+                f"bcec={bcec}, acec={acec}, wcec={self.wcec}"
+            )
+        deadline = self.period if self.deadline is None else self.deadline
+        if deadline <= 0:
+            raise InvalidTaskError(f"task {self.name!r}: deadline must be positive, got {deadline}")
+        if deadline > self.period + 1e-12:
+            raise InvalidTaskError(
+                f"task {self.name!r}: constrained deadlines only (deadline <= period), "
+                f"got deadline={deadline} > period={self.period}"
+            )
+        if self.ceff <= 0:
+            raise InvalidTaskError(f"task {self.name!r}: ceff must be positive, got {self.ceff}")
+        if self.phase < 0:
+            raise InvalidTaskError(f"task {self.name!r}: phase must be non-negative, got {self.phase}")
+        # Normalise the optional fields so downstream code never sees None.
+        object.__setattr__(self, "acec", acec)
+        object.__setattr__(self, "bcec", bcec)
+        object.__setattr__(self, "deadline", deadline)
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def bcec_wcec_ratio(self) -> float:
+        """The BCEC/WCEC ratio the paper sweeps (0.1 = highly variable)."""
+        return self.bcec / self.wcec
+
+    def utilization(self, fmax: float) -> float:
+        """Worst-case processor utilisation of this task at frequency ``fmax``.
+
+        ``fmax`` is expressed in cycles per time unit, so the worst-case
+        execution time at maximum speed is ``wcec / fmax``.
+        """
+        if fmax <= 0:
+            raise InvalidTaskError("fmax must be positive")
+        return (self.wcec / fmax) / self.period
+
+    def average_utilization(self, fmax: float) -> float:
+        """Average-case utilisation (uses ACEC instead of WCEC)."""
+        if fmax <= 0:
+            raise InvalidTaskError("fmax must be positive")
+        return (self.acec / fmax) / self.period
+
+    def num_jobs(self, horizon: float) -> int:
+        """Number of jobs released in ``[phase, horizon)``."""
+        if horizon <= self.phase:
+            return 0
+        return int(math.ceil((horizon - self.phase) / self.period - 1e-12))
+
+    def release_time(self, job_index: int) -> float:
+        """Absolute release time of the ``job_index``-th job (0-based)."""
+        if job_index < 0:
+            raise InvalidTaskError("job_index must be non-negative")
+        return self.phase + job_index * self.period
+
+    def absolute_deadline(self, job_index: int) -> float:
+        """Absolute deadline of the ``job_index``-th job (0-based)."""
+        return self.release_time(job_index) + self.deadline
+
+    def scaled(self, *, wcec_scale: float = 1.0, bcec_ratio: Optional[float] = None) -> "Task":
+        """Return a copy with scaled WCEC and, optionally, a new BCEC/WCEC ratio.
+
+        The experiment harness uses this to (a) rescale the worst case so the
+        task set hits a target utilisation and (b) sweep the BCEC/WCEC ratio
+        while keeping ``acec = (bcec + wcec) / 2`` as in the paper's
+        truncated-normal workload model.
+        """
+        if wcec_scale <= 0:
+            raise InvalidTaskError("wcec_scale must be positive")
+        new_wcec = self.wcec * wcec_scale
+        if bcec_ratio is None:
+            new_bcec = self.bcec * wcec_scale
+            new_acec = self.acec * wcec_scale
+        else:
+            if not 0 < bcec_ratio <= 1:
+                raise InvalidTaskError("bcec_ratio must lie in (0, 1]")
+            new_bcec = new_wcec * bcec_ratio
+            new_acec = 0.5 * (new_bcec + new_wcec)
+        return replace(self, wcec=new_wcec, acec=new_acec, bcec=new_bcec)
+
+
+@dataclass(frozen=True)
+class TaskInstance:
+    """One release (job) of a :class:`Task` inside the scheduling horizon."""
+
+    task: Task
+    job_index: int
+    release: float
+    deadline: float
+    priority: int
+
+    def __post_init__(self) -> None:
+        if self.deadline <= self.release:
+            raise InvalidTaskError(
+                f"instance {self.key}: deadline {self.deadline} must exceed release {self.release}"
+            )
+
+    @property
+    def key(self) -> str:
+        """Stable identifier such as ``"T1[2]"`` (task name, job index)."""
+        return f"{self.task.name}[{self.job_index}]"
+
+    @property
+    def wcec(self) -> float:
+        return self.task.wcec
+
+    @property
+    def acec(self) -> float:
+        return self.task.acec
+
+    @property
+    def bcec(self) -> float:
+        return self.task.bcec
+
+    @property
+    def window(self) -> float:
+        """Length of the execution window (deadline − release)."""
+        return self.deadline - self.release
+
+
+@dataclass(frozen=True)
+class SubInstance:
+    """A potential preemption-free chunk of a :class:`TaskInstance`.
+
+    ``slot_start``/``slot_end`` delimit the region of the timeline in which
+    this chunk may execute in the fully preemptive schedule: ``slot_start`` is
+    either the instance release or the release of the higher-priority job that
+    preempts the previous chunk, and ``slot_end`` is the next such release (or
+    the instance deadline for the last chunk).
+
+    ``order`` is the position of the sub-instance in the total execution order
+    of the fully preemptive schedule (Section 3.1), which the NLP constraints
+    chain over.
+    """
+
+    instance: TaskInstance
+    sub_index: int
+    slot_start: float
+    slot_end: float
+    order: int = field(default=-1, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.sub_index < 0:
+            raise InvalidTaskError("sub_index must be non-negative")
+        if self.slot_end <= self.slot_start:
+            raise InvalidTaskError(
+                f"sub-instance {self.key}: slot_end {self.slot_end} must exceed slot_start {self.slot_start}"
+            )
+
+    @property
+    def key(self) -> str:
+        """Stable identifier such as ``"T1[2].0"``."""
+        return f"{self.instance.key}.{self.sub_index}"
+
+    @property
+    def task(self) -> Task:
+        return self.instance.task
+
+    @property
+    def priority(self) -> int:
+        return self.instance.priority
+
+    @property
+    def slot_length(self) -> float:
+        return self.slot_end - self.slot_start
+
+    def with_order(self, order: int) -> "SubInstance":
+        """Return a copy with the total-order position filled in."""
+        return replace(self, order=order)

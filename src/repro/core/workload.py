@@ -1,0 +1,100 @@
+"""Workload bookkeeping shared by the offline optimiser and the runtime simulator.
+
+The central rule is the paper's *sequential fill* semantics (Section 3.2,
+Figure 5): when a task instance is split into K sub-instances with worst-case
+budgets ``w_1 .. w_K`` (summing to the WCEC) and the instance actually needs
+``A`` cycles (its ACEC in the offline analysis, or the drawn actual cycles at
+runtime), the earlier sub-instances are filled first:
+
+    a_k = clip(A − (w_1 + … + w_{k−1}), 0, w_k)
+
+so ``Σ a_k = A`` as long as ``A ≤ Σ w_k``.  A sub-instance whose prefix already
+covers ``A`` performs no work in the average case but keeps its reserved slot
+for the worst case.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .errors import WorkloadError
+
+__all__ = [
+    "fill_average_workloads",
+    "case_labels",
+    "split_evenly",
+    "proportional_split",
+]
+
+
+def fill_average_workloads(worst_case_budgets: Sequence[float], actual_cycles: float,
+                           *, tol: float = 1e-9) -> List[float]:
+    """Distribute ``actual_cycles`` over sub-instances using the sequential-fill rule.
+
+    Parameters
+    ----------
+    worst_case_budgets:
+        Worst-case cycle budget of each sub-instance, in execution order.
+    actual_cycles:
+        Total cycles the instance actually requires (``0 ≤ actual ≤ Σ budgets``
+        up to tolerance; values outside are clipped with a tolerance check).
+
+    Returns
+    -------
+    list of float
+        Cycles executed by each sub-instance; sums to ``actual_cycles``.
+    """
+    if any(b < -tol for b in worst_case_budgets):
+        raise WorkloadError(f"worst-case budgets must be non-negative, got {list(worst_case_budgets)}")
+    if actual_cycles < -tol:
+        raise WorkloadError(f"actual_cycles must be non-negative, got {actual_cycles}")
+    total_budget = float(sum(worst_case_budgets))
+    if actual_cycles > total_budget + max(tol, 1e-9 * total_budget):
+        raise WorkloadError(
+            f"actual_cycles ({actual_cycles}) exceeds the total worst-case budget ({total_budget})"
+        )
+    remaining = min(max(actual_cycles, 0.0), total_budget)
+    result: List[float] = []
+    for budget in worst_case_budgets:
+        executed = min(max(budget, 0.0), remaining)
+        result.append(executed)
+        remaining -= executed
+    return result
+
+
+def case_labels(worst_case_budgets: Sequence[float], acec: float, *, tol: float = 1e-9) -> List[int]:
+    """Classify each sub-instance into the paper's case 1 / case 2.
+
+    Case 1 (label ``1``): the cumulative worst-case budget up to and including
+    this sub-instance does not exceed the ACEC, so its average workload equals
+    its worst-case budget.  Case 2 (label ``2``): everything else (partial or
+    zero average workload).
+    """
+    labels: List[int] = []
+    cumulative = 0.0
+    for budget in worst_case_budgets:
+        cumulative += budget
+        labels.append(1 if cumulative <= acec + tol else 2)
+    return labels
+
+
+def split_evenly(total: float, parts: int) -> List[float]:
+    """Split ``total`` into ``parts`` equal non-negative pieces."""
+    if parts <= 0:
+        raise WorkloadError("parts must be a positive integer")
+    if total < 0:
+        raise WorkloadError("total must be non-negative")
+    return [total / parts] * parts
+
+
+def proportional_split(total: float, weights: Sequence[float]) -> List[float]:
+    """Split ``total`` proportionally to ``weights`` (used by heuristic schedulers)."""
+    if not weights:
+        raise WorkloadError("weights must be non-empty")
+    if any(w < 0 for w in weights):
+        raise WorkloadError("weights must be non-negative")
+    weight_sum = float(sum(weights))
+    if weight_sum <= 0:
+        # All-zero weights: fall back to an even split.
+        return split_evenly(total, len(weights))
+    return [total * w / weight_sum for w in weights]

@@ -1,0 +1,32 @@
+"""Experiment harnesses that regenerate the paper's tables and figures."""
+
+from .figure6a import Figure6aConfig, Figure6aPoint, Figure6aResult, run_figure6a
+from .figure6b import Figure6bConfig, Figure6bPoint, Figure6bResult, run_figure6b
+from .harness import (
+    ComparisonConfig,
+    ComparisonResult,
+    MethodOutcome,
+    compare_schedulers,
+    default_schedulers,
+)
+from .motivation import MotivationConfig, MotivationResult, motivation_taskset, run_motivation
+
+__all__ = [
+    "ComparisonConfig",
+    "ComparisonResult",
+    "MethodOutcome",
+    "compare_schedulers",
+    "default_schedulers",
+    "Figure6aConfig",
+    "Figure6aPoint",
+    "Figure6aResult",
+    "run_figure6a",
+    "Figure6bConfig",
+    "Figure6bPoint",
+    "Figure6bResult",
+    "run_figure6b",
+    "MotivationConfig",
+    "MotivationResult",
+    "motivation_taskset",
+    "run_motivation",
+]

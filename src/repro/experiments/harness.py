@@ -1,0 +1,123 @@
+"""Experiment harness: schedule a task set with several methods and simulate them.
+
+This is the glue the paper's evaluation needs: for a given task set it
+
+1. expands the hyperperiod once,
+2. runs every requested offline scheduler on the same expansion,
+3. simulates every resulting static schedule with the same random workload
+   realisations (common random numbers, so the comparison is paired), and
+4. reports per-method runtime energy plus the percentage improvement of every
+   method over a chosen baseline (WCS in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.preemption import expand_fully_preemptive
+from ..core.errors import ExperimentError
+from ..core.taskset import TaskSet
+from ..offline.acs import ACSScheduler
+from ..offline.base import VoltageScheduler
+from ..offline.schedule import StaticSchedule
+from ..offline.wcs import WCSScheduler
+from ..power.processor import ProcessorModel
+from ..runtime.dvs import GreedySlackPolicy, SlackPolicy
+from ..runtime.results import SimulationResult, improvement_percent
+from ..runtime.simulator import DVSSimulator, SimulationConfig
+from ..workloads.distributions import NormalWorkload, WorkloadModel
+
+__all__ = ["ComparisonConfig", "MethodOutcome", "ComparisonResult", "compare_schedulers", "default_schedulers"]
+
+
+@dataclass(frozen=True)
+class ComparisonConfig:
+    """Settings shared by every method in one comparison."""
+
+    n_hyperperiods: int = 50
+    seed: Optional[int] = 12345
+    baseline: str = "wcs"
+    workload: WorkloadModel = field(default_factory=NormalWorkload)
+    policy: SlackPolicy = field(default_factory=GreedySlackPolicy)
+    simulation: SimulationConfig = None
+
+    def simulation_config(self) -> SimulationConfig:
+        if self.simulation is not None:
+            return self.simulation
+        return SimulationConfig(n_hyperperiods=self.n_hyperperiods, seed=self.seed)
+
+
+@dataclass
+class MethodOutcome:
+    """Static schedule plus simulated runtime energy of one method."""
+
+    method: str
+    schedule: StaticSchedule
+    simulation: SimulationResult
+
+    @property
+    def mean_energy(self) -> float:
+        return self.simulation.mean_energy_per_hyperperiod
+
+
+@dataclass
+class ComparisonResult:
+    """Outcome of :func:`compare_schedulers` on one task set."""
+
+    taskset_name: str
+    outcomes: Dict[str, MethodOutcome]
+    baseline: str
+
+    def energy(self, method: str) -> float:
+        return self.outcomes[method].mean_energy
+
+    def improvement_over_baseline(self, method: str) -> float:
+        """Percentage energy reduction of ``method`` relative to the baseline."""
+        baseline_energy = self.energy(self.baseline)
+        return improvement_percent(baseline_energy, self.energy(method))
+
+    def methods(self) -> List[str]:
+        return list(self.outcomes)
+
+    def rows(self) -> List[List[object]]:
+        """Table rows: method, mean energy, improvement over baseline, misses."""
+        result = []
+        for method, outcome in self.outcomes.items():
+            result.append([
+                method,
+                outcome.mean_energy,
+                self.improvement_over_baseline(method),
+                outcome.simulation.miss_count,
+            ])
+        return result
+
+
+def default_schedulers(processor: ProcessorModel) -> Dict[str, VoltageScheduler]:
+    """The pair the paper compares: ACS against the WCS baseline."""
+    return {"wcs": WCSScheduler(processor), "acs": ACSScheduler(processor)}
+
+
+def compare_schedulers(taskset: TaskSet, processor: ProcessorModel,
+                       schedulers: Optional[Dict[str, VoltageScheduler]] = None,
+                       config: Optional[ComparisonConfig] = None) -> ComparisonResult:
+    """Schedule ``taskset`` with every scheduler and simulate all of them with paired randomness."""
+    cfg = config or ComparisonConfig()
+    methods = schedulers or default_schedulers(processor)
+    if cfg.baseline not in methods:
+        raise ExperimentError(
+            f"baseline {cfg.baseline!r} is not among the schedulers {sorted(methods)}"
+        )
+
+    expansion = expand_fully_preemptive(taskset)
+    outcomes: Dict[str, MethodOutcome] = {}
+    for name, scheduler in methods.items():
+        schedule = scheduler.schedule_expansion(expansion)
+        simulator = DVSSimulator(processor, policy=cfg.policy, config=cfg.simulation_config())
+        # Paired comparison: every method sees the same workload realisations.
+        rng = np.random.default_rng(cfg.seed)
+        simulation = simulator.run(schedule, cfg.workload, rng)
+        outcomes[name] = MethodOutcome(method=name, schedule=schedule, simulation=simulation)
+    return ComparisonResult(taskset_name=taskset.name, outcomes=outcomes, baseline=cfg.baseline)

@@ -1,0 +1,142 @@
+"""Constructive static schedules used as initial guesses, fallbacks and baselines.
+
+The central helper is :func:`worst_case_simulation_vectors`: an analytic
+fixed-priority simulation of the *worst case* (every job takes its WCEC) at a
+constant frequency.  It returns, for every sub-instance of the fully
+preemptive expansion, the cycles the job executed inside that sub-instance's
+slot and the time at which it stopped executing there.  Those two vectors form
+a feasible static schedule whenever the simulation itself meets all deadlines,
+because by construction
+
+* budgets of a job sum to its WCEC,
+* every end-time lies inside its slot, and
+* consecutive sub-instances in the total order never overlap.
+
+Running the simulation at ``fmax`` yields the most conservative feasible
+schedule (used as NLP fallback and as the "no-DVS" baseline); running it at
+the breakdown frequency yields the classic constant-slowdown baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..analysis.preemption import FullyPreemptiveSchedule
+from ..core.errors import SchedulingError
+from ..power.processor import ProcessorModel
+
+__all__ = [
+    "worst_case_simulation_vectors",
+    "proportional_budget_vectors",
+]
+
+
+def _elementary_boundaries(expansion: FullyPreemptiveSchedule) -> List[float]:
+    """All distinct slot boundaries (release times and deadlines) in order."""
+    points = set()
+    for sub in expansion.sub_instances:
+        points.add(sub.slot_start)
+        points.add(sub.slot_end)
+    return sorted(points)
+
+
+def worst_case_simulation_vectors(expansion: FullyPreemptiveSchedule, processor: ProcessorModel,
+                                  frequency: float = None,
+                                  *, require_feasible: bool = True) -> Tuple[List[float], List[float]]:
+    """Simulate the worst case at a constant ``frequency`` and map it onto sub-instances.
+
+    Returns ``(end_times, wc_budgets)`` in total order.  Sub-instances in which
+    the job does not execute at all receive a zero budget and an end-time equal
+    to their slot start.
+
+    Raises :class:`SchedulingError` when the simulation misses a deadline and
+    ``require_feasible`` is true.
+    """
+    freq = processor.fmax if frequency is None else frequency
+    if freq <= 0:
+        raise SchedulingError(f"frequency must be positive, got {freq}")
+
+    subs = expansion.sub_instances
+    boundaries = _elementary_boundaries(expansion)
+    remaining: Dict[str, float] = {inst.key: inst.wcec for inst in expansion.instances}
+
+    # cycles executed and last execution time per sub-instance key
+    executed: Dict[str, float] = {sub.key: 0.0 for sub in subs}
+    last_active: Dict[str, float] = {sub.key: sub.slot_start for sub in subs}
+
+    # Pre-index: for each job, its sub-instances by slot interval for fast lookup.
+    subs_by_instance: Dict[str, List] = {}
+    for sub in subs:
+        subs_by_instance.setdefault(sub.instance.key, []).append(sub)
+    for key in subs_by_instance:
+        subs_by_instance[key].sort(key=lambda s: s.slot_start)
+
+    instances_sorted = sorted(expansion.instances, key=lambda i: (i.priority, i.release, i.task.name))
+
+    for t_start, t_end in zip(boundaries, boundaries[1:]):
+        time_cursor = t_start
+        capacity = t_end - t_start
+        for instance in instances_sorted:
+            if capacity <= 1e-15:
+                break
+            if remaining[instance.key] <= 1e-12:
+                continue
+            if instance.release > t_start + 1e-12 or instance.deadline < t_end - 1e-12:
+                continue
+            # Find the sub-instance of this job whose slot contains [t_start, t_end).
+            container = None
+            for sub in subs_by_instance[instance.key]:
+                if sub.slot_start <= t_start + 1e-12 and sub.slot_end >= t_end - 1e-12:
+                    container = sub
+                    break
+            if container is None:
+                continue
+            time_needed = remaining[instance.key] / freq
+            time_used = min(time_needed, capacity)
+            cycles = time_used * freq
+            executed[container.key] += cycles
+            remaining[instance.key] -= cycles
+            time_cursor += time_used
+            last_active[container.key] = max(last_active[container.key], time_cursor)
+            capacity -= time_used
+
+    if require_feasible:
+        unfinished = [key for key, value in remaining.items() if value > 1e-9]
+        if unfinished:
+            raise SchedulingError(
+                f"worst-case simulation at frequency {freq:g} cannot finish jobs {unfinished}; "
+                "the task set is not schedulable at this speed"
+            )
+
+    end_times = [last_active[sub.key] for sub in subs]
+    budgets = [executed[sub.key] for sub in subs]
+    return end_times, budgets
+
+
+def proportional_budget_vectors(expansion: FullyPreemptiveSchedule,
+                                processor: ProcessorModel) -> Tuple[List[float], List[float]]:
+    """Heuristic initial guess: budgets proportional to slot lengths, end-times stretched.
+
+    The end-times are a forward pass that stretches each sub-instance towards
+    the end of its slot while respecting the worst-case chain requirement at
+    maximum speed.  The result is *not* guaranteed to be feasible; it is only
+    used to seed the NLP, which falls back to
+    :func:`worst_case_simulation_vectors` if needed.
+    """
+    subs = expansion.sub_instances
+    budgets: List[float] = []
+    for sub in subs:
+        siblings = expansion.sub_instances_of(sub.instance)
+        total_slot = sum(s.slot_length for s in siblings)
+        share = sub.slot_length / total_slot if total_slot > 0 else 1.0 / len(siblings)
+        budgets.append(sub.instance.wcec * share)
+
+    end_times: List[float] = []
+    previous_end = 0.0
+    for sub, budget in zip(subs, budgets):
+        earliest = max(previous_end, sub.slot_start) + budget / processor.fmax
+        end = min(sub.slot_end, max(earliest, sub.slot_end - 0.0))
+        end = max(end, earliest)
+        end_times.append(end)
+        previous_end = max(previous_end, end)
+    return end_times, budgets

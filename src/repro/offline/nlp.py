@@ -1,0 +1,350 @@
+"""Reduced NLP formulation of the offline voltage-scheduling problem.
+
+The paper formulates the search for the static schedule as a Non-Linear
+Program over, for every sub-instance, its end-time, its worst-case and average
+workloads and the two corresponding supply voltages (Section 3.2).  Observing
+that — under the paper's own runtime model — the average workloads and both
+voltages are *determined* by the end-times and worst-case budgets (the
+sequential-fill rule and the online speed formula), this module solves the
+equivalent *reduced* problem:
+
+    variables     E_m (end-time), w_m (worst-case budget) for every sub-instance
+    objective     average-case energy of one hyperperiod, evaluated by the
+                  analytic greedy propagation of :mod:`repro.offline.evaluation`
+                  with every job at its ACEC
+    constraints   (all linear)
+                  * slot containment:            slot_start_m ≤ E_m ≤ slot_end_m
+                  * worst-case chain (paper (8)): E_m − E_{m−1} ≥ w_m / fmax
+                  * release guard:                E_m − slot_start_m ≥ w_m / fmax
+                  * per-job budget (paper (11)):  Σ_k w_{i,j,k} = WCEC_i
+                  * w_m ≥ 0
+
+Setting the "actual" workload used by the objective to the WCEC instead of the
+ACEC turns the same solver into the WCS baseline (the classical static
+schedule that only considers worst-case cycles).
+
+The literal formulation with explicit voltage/average-workload variables is
+available in :mod:`repro.offline.nlp_literal` and is cross-checked against
+this one in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import optimize
+
+from ..analysis.preemption import FullyPreemptiveSchedule
+from ..core.errors import OptimizationError, SchedulingError
+from ..power.processor import ProcessorModel
+from .evaluation import evaluate_vectors
+from .initialization import proportional_budget_vectors, worst_case_simulation_vectors
+from .schedule import StaticSchedule
+
+__all__ = ["ReducedNLP", "SolverOptions"]
+
+
+@dataclass(frozen=True)
+class SolverOptions:
+    """Knobs for the scipy-based solver."""
+
+    maxiter: int = 200
+    ftol: float = 1e-8
+    finite_difference_step: float = 1e-6
+    method: str = "SLSQP"
+    verbose: bool = False
+    #: Fraction of the hyperperiod added as slack to the worst-case chain
+    #: constraints inside the solver.  SLSQP may violate its constraints by a
+    #: small amount; the margin keeps the *true* chain constraint satisfiable
+    #: after the post-solve repair, at a negligible cost in optimality.
+    chain_margin_fraction: float = 1e-5
+
+
+@dataclass
+class ReducedNLP:
+    """Assembles and solves the reduced offline voltage-scheduling NLP.
+
+    Parameters
+    ----------
+    expansion:
+        The fully preemptive expansion of the task set over one hyperperiod.
+    processor:
+        DVS processor model (delay and energy laws).
+    workload_mode:
+        ``"acec"`` → the objective evaluates the average case (this is ACS);
+        ``"wcec"`` → the objective evaluates the worst case (this is WCS).
+    options:
+        Solver options.
+    """
+
+    expansion: FullyPreemptiveSchedule
+    processor: ProcessorModel
+    workload_mode: str = "acec"
+    options: SolverOptions = field(default_factory=SolverOptions)
+    #: Optional list of ``(weight, {job key: actual cycles})`` scenarios.  When
+    #: given, the objective becomes the weighted mean energy over the scenarios
+    #: instead of the single ACEC/WCEC evaluation — this is the
+    #: probability-weighted objective the paper mentions as an option when the
+    #: workload distribution is known (used by the stochastic ACS variant).
+    scenarios: Optional[List[Tuple[float, Dict[str, float]]]] = None
+
+    def __post_init__(self) -> None:
+        if self.workload_mode not in ("acec", "wcec"):
+            raise SchedulingError(f"workload_mode must be 'acec' or 'wcec', got {self.workload_mode!r}")
+        if self.scenarios is not None:
+            if not self.scenarios:
+                raise SchedulingError("scenarios must be a non-empty list when given")
+            total_weight = sum(weight for weight, _ in self.scenarios)
+            if total_weight <= 0:
+                raise SchedulingError("scenario weights must sum to a positive value")
+        subs = self.expansion.sub_instances
+        self._n_subs = len(subs)
+        # Budgets are decision variables only for jobs split into 2+ sub-instances.
+        self._budget_var_index: Dict[int, int] = {}
+        self._fixed_budget: Dict[int, float] = {}
+        next_var = 0
+        for index, sub in enumerate(subs):
+            siblings = self.expansion.sub_instances_of(sub.instance)
+            if len(siblings) >= 2:
+                self._budget_var_index[index] = next_var
+                next_var += 1
+            else:
+                self._fixed_budget[index] = sub.instance.wcec
+        self._n_budget_vars = next_var
+        self._n_vars = self._n_subs + self._n_budget_vars
+        self._actual_cycles = self._build_actual_cycles()
+
+    # ------------------------------------------------------------------ #
+    # Variable packing
+    # ------------------------------------------------------------------ #
+    @property
+    def n_variables(self) -> int:
+        return self._n_vars
+
+    def _build_actual_cycles(self) -> Dict[str, float]:
+        if self.workload_mode == "acec":
+            return {inst.key: inst.acec for inst in self.expansion.instances}
+        return {inst.key: inst.wcec for inst in self.expansion.instances}
+
+    def pack(self, end_times: Sequence[float], budgets: Sequence[float]) -> np.ndarray:
+        """Pack full end-time/budget vectors into the optimisation variable vector."""
+        x = np.zeros(self._n_vars)
+        x[: self._n_subs] = np.asarray(end_times, dtype=float)
+        for sub_index, var_index in self._budget_var_index.items():
+            x[self._n_subs + var_index] = budgets[sub_index]
+        return x
+
+    def unpack(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Expand the optimisation vector into full end-time/budget vectors."""
+        end_times = np.asarray(x[: self._n_subs], dtype=float)
+        budgets = np.zeros(self._n_subs)
+        for sub_index, var_index in self._budget_var_index.items():
+            budgets[sub_index] = x[self._n_subs + var_index]
+        for sub_index, value in self._fixed_budget.items():
+            budgets[sub_index] = value
+        return end_times, budgets
+
+    # ------------------------------------------------------------------ #
+    # Objective and constraints
+    # ------------------------------------------------------------------ #
+    def objective(self, x: np.ndarray) -> float:
+        end_times, budgets = self.unpack(x)
+        if self.scenarios is not None:
+            total_weight = sum(weight for weight, _ in self.scenarios)
+            energy = 0.0
+            for weight, actual_cycles in self.scenarios:
+                outcome = evaluate_vectors(
+                    self.expansion, end_times, budgets, self.processor,
+                    actual_cycles, collect_details=False,
+                )
+                energy += weight * outcome.energy
+            return energy / total_weight
+        outcome = evaluate_vectors(
+            self.expansion, end_times, budgets, self.processor,
+            self._actual_cycles, collect_details=False,
+        )
+        return outcome.energy
+
+    def bounds(self) -> List[Tuple[float, float]]:
+        subs = self.expansion.sub_instances
+        bounds: List[Tuple[float, float]] = [(sub.slot_start, sub.slot_end) for sub in subs]
+        for sub_index in sorted(self._budget_var_index, key=lambda i: self._budget_var_index[i]):
+            bounds.append((0.0, subs[sub_index].instance.wcec))
+        return bounds
+
+    def linear_constraints(self) -> List[Dict[str, object]]:
+        """Constraints in the dict form accepted by SLSQP."""
+        subs = self.expansion.sub_instances
+        fmax = self.processor.fmax
+        n_subs = self._n_subs
+        margin = self.options.chain_margin_fraction * self.expansion.horizon
+
+        inequality_rows: List[np.ndarray] = []
+        inequality_consts: List[float] = []
+
+        def budget_coefficient_row(sub_index: int, coefficient: float) -> np.ndarray:
+            row = np.zeros(self._n_vars)
+            if sub_index in self._budget_var_index:
+                row[n_subs + self._budget_var_index[sub_index]] = coefficient
+            return row
+
+        for index, sub in enumerate(subs):
+            # E_m − slot_start_m − w_m / fmax ≥ margin
+            row = budget_coefficient_row(index, -1.0 / fmax)
+            row[index] += 1.0
+            constant = -sub.slot_start - margin
+            if index in self._fixed_budget:
+                constant -= self._fixed_budget[index] / fmax
+            inequality_rows.append(row)
+            inequality_consts.append(constant)
+            if index >= 1:
+                # E_m − E_{m−1} − w_m / fmax ≥ margin
+                row = budget_coefficient_row(index, -1.0 / fmax)
+                row[index] += 1.0
+                row[index - 1] -= 1.0
+                constant = -margin
+                if index in self._fixed_budget:
+                    constant -= self._fixed_budget[index] / fmax
+                inequality_rows.append(row)
+                inequality_consts.append(constant)
+
+        equality_rows: List[np.ndarray] = []
+        equality_consts: List[float] = []
+        for instance in self.expansion.instances:
+            indices = [sub.order for sub in self.expansion.sub_instances_of(instance)]
+            if len(indices) < 2:
+                continue
+            row = np.zeros(self._n_vars)
+            for sub_index in indices:
+                row[n_subs + self._budget_var_index[sub_index]] = 1.0
+            equality_rows.append(row)
+            equality_consts.append(instance.wcec)
+
+        constraints: List[Dict[str, object]] = []
+        if inequality_rows:
+            a_ineq = np.vstack(inequality_rows)
+            b_ineq = np.asarray(inequality_consts)
+            constraints.append({
+                "type": "ineq",
+                "fun": lambda x, a=a_ineq, b=b_ineq: a @ x + b,
+                "jac": lambda x, a=a_ineq: a,
+            })
+        if equality_rows:
+            a_eq = np.vstack(equality_rows)
+            b_eq = np.asarray(equality_consts)
+            constraints.append({
+                "type": "eq",
+                "fun": lambda x, a=a_eq, b=b_eq: a @ x - b,
+                "jac": lambda x, a=a_eq: a,
+            })
+        return constraints
+
+    # ------------------------------------------------------------------ #
+    # Solving
+    # ------------------------------------------------------------------ #
+    def initial_guess(self) -> np.ndarray:
+        end_times, budgets = proportional_budget_vectors(self.expansion, self.processor)
+        return self.pack(end_times, budgets)
+
+    def fallback_vectors(self) -> Tuple[List[float], List[float]]:
+        return worst_case_simulation_vectors(self.expansion, self.processor)
+
+    def solve(self, x0: Optional[np.ndarray] = None) -> StaticSchedule:
+        """Run the solver and return a validated :class:`StaticSchedule`.
+
+        The raw solver output is repaired (budgets renormalised, end-times
+        pushed forward to restore the worst-case chain) before validation; if
+        no feasible repaired schedule emerges, the guaranteed-feasible
+        worst-case-at-fmax schedule is returned instead, flagged in
+        ``metadata["fallback"]``.
+        """
+        start = self.initial_guess() if x0 is None else np.asarray(x0, dtype=float)
+        result = optimize.minimize(
+            self.objective,
+            start,
+            method=self.options.method,
+            bounds=self.bounds(),
+            constraints=self.linear_constraints(),
+            options={
+                "maxiter": self.options.maxiter,
+                "ftol": self.options.ftol,
+                "eps": self.options.finite_difference_step,
+                "disp": self.options.verbose,
+            },
+        )
+        end_times, budgets = self.unpack(np.asarray(result.x, dtype=float))
+        repaired = self._repair(end_times, budgets)
+        metadata = {
+            "solver_status": int(result.status),
+            "solver_message": str(result.message),
+            "solver_iterations": int(result.get("nit", -1)),
+            "fallback": False,
+        }
+        method_name = "acs" if self.workload_mode == "acec" else "wcs"
+        if repaired is not None:
+            candidate = StaticSchedule.from_vectors(
+                self.expansion, repaired[0], repaired[1],
+                method=method_name,
+                objective_value=float(self.objective(self.pack(*repaired))),
+                metadata=metadata,
+            )
+            try:
+                candidate.validate(self.processor)
+                return candidate
+            except SchedulingError:
+                pass
+        # Fall back to the guaranteed-feasible worst-case schedule at fmax.
+        fallback_end, fallback_budget = self.fallback_vectors()
+        metadata["fallback"] = True
+        schedule = StaticSchedule.from_vectors(
+            self.expansion, fallback_end, fallback_budget,
+            method=method_name,
+            objective_value=float(self.objective(self.pack(fallback_end, fallback_budget))),
+            metadata=metadata,
+        )
+        schedule.validate(self.processor)
+        return schedule
+
+    # ------------------------------------------------------------------ #
+    # Post-processing
+    # ------------------------------------------------------------------ #
+    def _repair(self, end_times: np.ndarray,
+                budgets: np.ndarray) -> Optional[Tuple[List[float], List[float]]]:
+        """Project a near-feasible solver output onto the feasible set.
+
+        Budgets are clipped at zero and rescaled so each job's budgets sum to
+        its WCEC; end-times are then pushed forward just enough to restore the
+        worst-case chain, and clipped to their slot.  Returns ``None`` when the
+        projection would violate a slot end (the caller then falls back).
+        """
+        subs = self.expansion.sub_instances
+        repaired_budgets = np.clip(np.asarray(budgets, dtype=float), 0.0, None)
+        for instance in self.expansion.instances:
+            indices = [sub.order for sub in self.expansion.sub_instances_of(instance)]
+            total = repaired_budgets[indices].sum()
+            if total <= 1e-12:
+                # Degenerate: give everything to the first sub-instance.
+                repaired_budgets[indices] = 0.0
+                repaired_budgets[indices[0]] = instance.wcec
+            else:
+                repaired_budgets[indices] *= instance.wcec / total
+
+        fmax = self.processor.fmax
+        repaired_ends: List[float] = []
+        previous_end = 0.0
+        for index, sub in enumerate(subs):
+            if repaired_budgets[index] <= 1e-9 * max(1.0, sub.instance.wcec):
+                # Zero-budget sub-instances execute nothing; keep their end-time
+                # inside the slot but outside the chain bookkeeping.
+                repaired_ends.append(min(max(float(end_times[index]), sub.slot_start), sub.slot_end))
+                continue
+            earliest = max(previous_end, sub.slot_start) + repaired_budgets[index] / fmax
+            end = min(max(float(end_times[index]), earliest), sub.slot_end)
+            tolerance = 1e-7 * max(1.0, sub.slot_end)
+            if end + tolerance < earliest:
+                return None
+            repaired_ends.append(end)
+            previous_end = max(previous_end, end)
+        return repaired_ends, list(repaired_budgets)

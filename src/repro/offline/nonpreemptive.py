@@ -1,0 +1,83 @@
+"""Helpers for non-preemptive frame-based systems (the paper's motivational example).
+
+Section 2.2 of the paper illustrates the idea on a *non-preemptive* frame: a
+fixed sequence of tasks, all released at time 0 and sharing the frame deadline.
+Such a system is a degenerate case of the preemptive machinery: when every
+task shares the same release time and the frame length as period, no task is
+ever preempted, every job has exactly one sub-instance and the total order is
+simply the chosen execution order.  This module builds the corresponding
+:class:`~repro.core.taskset.TaskSet` so the regular ACS/WCS schedulers and the
+runtime simulator can be reused unchanged for the Table 1 / Figure 1 / Figure 2
+experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.errors import InvalidTaskSetError
+from ..core.task import Task
+from ..core.taskset import TaskSet
+
+__all__ = ["frame_based_taskset", "explicit_order_policy"]
+
+
+def explicit_order_policy(order: Sequence[str]):
+    """Priority policy that encodes a fixed execution order.
+
+    The first task in ``order`` gets the highest priority, so a fixed-priority
+    dispatcher with a common release time executes the frame exactly in the
+    given order without preemption.
+    """
+    order = list(order)
+
+    def policy(tasks: Sequence[Task]) -> Dict[str, int]:
+        names = {task.name for task in tasks}
+        unknown = [name for name in order if name not in names]
+        if unknown:
+            raise InvalidTaskSetError(f"execution order mentions unknown tasks: {unknown}")
+        missing = [name for name in names if name not in order]
+        if missing:
+            raise InvalidTaskSetError(f"execution order is missing tasks: {sorted(missing)}")
+        return {name: index for index, name in enumerate(order)}
+
+    return policy
+
+
+def frame_based_taskset(tasks: Sequence[Task], frame_length: float,
+                        order: Optional[Sequence[str]] = None,
+                        name: str = "frame") -> TaskSet:
+    """Build a non-preemptive frame as a degenerate preemptive task set.
+
+    Every task is given the frame length as its period and deadline and a
+    phase of zero; priorities encode the execution ``order`` (defaults to the
+    order in which the tasks are passed).
+
+    Parameters
+    ----------
+    tasks:
+        Tasks with their WCEC/ACEC/BCEC and capacitance; period, deadline and
+        phase are overridden.
+    frame_length:
+        The frame (hyperperiod) length — also every task's deadline.
+    order:
+        Execution order as a list of task names; defaults to the given order.
+    """
+    if frame_length <= 0:
+        raise InvalidTaskSetError(f"frame_length must be positive, got {frame_length}")
+    rebuilt: List[Task] = []
+    for task in tasks:
+        rebuilt.append(
+            Task(
+                name=task.name,
+                period=frame_length,
+                wcec=task.wcec,
+                acec=task.acec,
+                bcec=task.bcec,
+                deadline=frame_length,
+                ceff=task.ceff,
+                phase=0.0,
+            )
+        )
+    execution_order = list(order) if order is not None else [t.name for t in rebuilt]
+    return TaskSet(rebuilt, priority_policy=explicit_order_policy(execution_order), name=name)

@@ -1,0 +1,222 @@
+"""Static voltage-schedule data structures.
+
+The output of every offline scheduler (ACS, WCS, the baselines, the
+non-preemptive variant) is a :class:`StaticSchedule`: for each sub-instance of
+the fully preemptive expansion it records
+
+* ``end_time`` — the planned end-time ``E`` passed to the online DVS policy, and
+* ``wc_budget`` — the worst-case cycle budget ``w`` of the sub-instance
+  (the budgets of one job sum to its WCEC).
+
+Everything else the runtime needs (speeds, voltages) is derived from these two
+numbers, exactly as in the paper.  The schedule also keeps the derived
+average-case budgets (sequential fill of the ACEC) for reporting and for the
+literal NLP formulation's cross-checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from ..analysis.preemption import FullyPreemptiveSchedule
+from ..core.errors import SchedulingError
+from ..core.task import SubInstance, TaskInstance
+from ..core.workload import fill_average_workloads
+from ..power.processor import ProcessorModel
+
+__all__ = ["ScheduledSubInstance", "StaticSchedule"]
+
+
+@dataclass(frozen=True)
+class ScheduledSubInstance:
+    """One sub-instance of the fully preemptive schedule with its NLP decisions."""
+
+    sub: SubInstance
+    end_time: float
+    wc_budget: float
+    avg_budget: float = 0.0
+
+    @property
+    def key(self) -> str:
+        return self.sub.key
+
+    @property
+    def instance(self) -> TaskInstance:
+        return self.sub.instance
+
+    @property
+    def order(self) -> int:
+        return self.sub.order
+
+    def planned_wc_speed(self, planned_start: float, processor: ProcessorModel) -> float:
+        """Frequency the static schedule plans for the worst case from ``planned_start``."""
+        available = self.end_time - planned_start
+        if available <= 0:
+            return processor.fmax
+        return processor.clip_frequency(self.wc_budget / available)
+
+
+@dataclass
+class StaticSchedule:
+    """A complete offline voltage schedule over one hyperperiod.
+
+    Attributes
+    ----------
+    expansion:
+        The fully preemptive expansion the schedule was computed for.
+    entries:
+        One :class:`ScheduledSubInstance` per sub-instance, in total order.
+    method:
+        Name of the scheduler that produced it (``"acs"``, ``"wcs"``, ...).
+    objective_value:
+        The optimiser's final objective (average-case energy estimate), when
+        available.
+    metadata:
+        Free-form diagnostic information (solver status, iterations, ...).
+    """
+
+    expansion: FullyPreemptiveSchedule
+    entries: List[ScheduledSubInstance]
+    method: str = "unspecified"
+    objective_value: Optional[float] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.entries) != len(self.expansion.sub_instances):
+            raise SchedulingError(
+                f"schedule has {len(self.entries)} entries but the expansion has "
+                f"{len(self.expansion.sub_instances)} sub-instances"
+            )
+        self.entries = sorted(self.entries, key=lambda e: e.order)
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[ScheduledSubInstance]:
+        return iter(self.entries)
+
+    def __getitem__(self, index: int) -> ScheduledSubInstance:
+        return self.entries[index]
+
+    def entries_for_instance(self, instance: TaskInstance) -> List[ScheduledSubInstance]:
+        """Entries of one job, in sub-index order."""
+        return sorted(
+            (e for e in self.entries if e.instance.key == instance.key),
+            key=lambda e: e.sub.sub_index,
+        )
+
+    def entry_by_key(self, key: str) -> ScheduledSubInstance:
+        for entry in self.entries:
+            if entry.key == key:
+                return entry
+        raise KeyError(key)
+
+    def end_times(self) -> List[float]:
+        """End-times in total order."""
+        return [e.end_time for e in self.entries]
+
+    def wc_budgets(self) -> List[float]:
+        """Worst-case budgets in total order."""
+        return [e.wc_budget for e in self.entries]
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    def validate(self, processor: ProcessorModel, *, tol: float = 1e-6) -> None:
+        """Check the worst-case feasibility invariants of the schedule.
+
+        * every end-time lies inside its sub-instance's slot;
+        * consecutive end-times leave room for the worst-case budget at
+          maximum speed (constraint (8) of the paper);
+        * the budgets of one job sum to its WCEC and are non-negative.
+        """
+        previous_end = 0.0
+        for entry in self.entries:
+            sub = entry.sub
+            scale = max(1.0, abs(entry.end_time))
+            if entry.wc_budget < -tol:
+                raise SchedulingError(f"{entry.key}: negative worst-case budget {entry.wc_budget}")
+            if entry.end_time > sub.slot_end + tol * scale:
+                raise SchedulingError(
+                    f"{entry.key}: end-time {entry.end_time} exceeds the slot end {sub.slot_end}"
+                )
+            if entry.wc_budget <= tol * max(1.0, entry.instance.wcec):
+                # A sub-instance with no worst-case budget executes nothing at
+                # runtime; its end-time neither needs chain room nor gates the
+                # sub-instances that follow it.
+                continue
+            required = entry.wc_budget / processor.fmax
+            earliest_start = max(previous_end, sub.slot_start)
+            if entry.end_time + tol * scale < earliest_start + required:
+                raise SchedulingError(
+                    f"{entry.key}: end-time {entry.end_time} leaves only "
+                    f"{entry.end_time - earliest_start:.6g} time units but the worst-case budget "
+                    f"needs {required:.6g} at maximum speed"
+                )
+            previous_end = max(previous_end, entry.end_time)
+        for instance in self.expansion.instances:
+            entries = self.entries_for_instance(instance)
+            total = sum(e.wc_budget for e in entries)
+            if abs(total - instance.wcec) > tol * max(1.0, instance.wcec):
+                raise SchedulingError(
+                    f"instance {instance.key}: worst-case budgets sum to {total}, expected WCEC {instance.wcec}"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_vectors(cls, expansion: FullyPreemptiveSchedule, end_times: Sequence[float],
+                     wc_budgets: Sequence[float], *, method: str = "unspecified",
+                     objective_value: Optional[float] = None,
+                     metadata: Optional[Dict[str, object]] = None) -> "StaticSchedule":
+        """Build a schedule from end-time / budget vectors in total order."""
+        subs = expansion.sub_instances
+        if len(end_times) != len(subs) or len(wc_budgets) != len(subs):
+            raise SchedulingError(
+                f"expected {len(subs)} end-times and budgets, got {len(end_times)} and {len(wc_budgets)}"
+            )
+        # Derive the average-case budgets per job with the sequential-fill rule.
+        avg_budget_by_key: Dict[str, float] = {}
+        by_instance: Dict[str, List[int]] = {}
+        for index, sub in enumerate(subs):
+            by_instance.setdefault(sub.instance.key, []).append(index)
+        for instance_key, indices in by_instance.items():
+            indices_sorted = sorted(indices, key=lambda i: subs[i].sub_index)
+            budgets = [max(float(wc_budgets[i]), 0.0) for i in indices_sorted]
+            instance = subs[indices_sorted[0]].instance
+            acec = min(instance.acec, sum(budgets))
+            averages = fill_average_workloads(budgets, acec)
+            for i, avg in zip(indices_sorted, averages):
+                avg_budget_by_key[subs[i].key] = avg
+        entries = [
+            ScheduledSubInstance(
+                sub=sub,
+                end_time=float(end_times[index]),
+                wc_budget=max(float(wc_budgets[index]), 0.0),
+                avg_budget=avg_budget_by_key[sub.key],
+            )
+            for index, sub in enumerate(subs)
+        ]
+        return cls(
+            expansion=expansion,
+            entries=entries,
+            method=method,
+            objective_value=objective_value,
+            metadata=dict(metadata or {}),
+        )
+
+    def describe(self) -> str:
+        """Multi-line, human-readable table of the schedule."""
+        lines = [f"StaticSchedule ({self.method}): {len(self.entries)} sub-instances"]
+        for entry in self.entries:
+            lines.append(
+                f"  {entry.key:<14s} slot=[{entry.sub.slot_start:8.3f}, {entry.sub.slot_end:8.3f}) "
+                f"end={entry.end_time:8.3f} wc_budget={entry.wc_budget:10.3f} "
+                f"avg_budget={entry.avg_budget:10.3f}"
+            )
+        return "\n".join(lines)

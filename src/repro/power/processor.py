@@ -1,0 +1,232 @@
+"""Variable-voltage processor model.
+
+The paper's energy model (Section 2.2):
+
+* cycle time        ``t_cycle = k · Vdd / (Vdd − Vth)^α``  (the usual CMOS delay law)
+* energy per cycle  ``E_cycle = Ceff · Vdd²``
+
+and, for the motivational example, the simplified assumption that the clock
+frequency is *proportional* to the supply voltage.  Both laws are supported:
+
+``law="linear"``
+    ``f(V) = fmax · V / Vmax`` — the simplified model.
+``law="cmos"``
+    ``f(V) = (V − Vth)^α / (k · V)`` with ``k`` calibrated so ``f(Vmax) = fmax``.
+
+A :class:`ProcessorModel` is immutable.  All conversions (frequency for a
+voltage, the minimum voltage able to sustain a frequency, per-cycle energy,
+energy for a number of cycles) live here so that the offline optimiser and the
+runtime simulator use exactly the same physics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.errors import InvalidProcessorError
+
+__all__ = ["ProcessorModel"]
+
+_LAWS = ("linear", "cmos")
+
+
+@dataclass(frozen=True)
+class ProcessorModel:
+    """An idealised DVS-capable processor.
+
+    Parameters
+    ----------
+    vmax / vmin:
+        Supply-voltage range.  Scaling requests outside the range are clipped
+        (the paper assumes any voltage within the range is available).
+    fmax:
+        Clock frequency at ``vmax`` in cycles per time unit.  All other
+        frequencies are derived from the delay law.
+    vth:
+        Threshold voltage (only used by the ``"cmos"`` law).
+    alpha:
+        Velocity-saturation exponent, between 1 and 2 (only ``"cmos"``).
+    ceff:
+        Default effective switching capacitance used when a task does not
+        carry its own.
+    law:
+        ``"linear"`` (frequency proportional to voltage, as in the paper's
+        motivational example) or ``"cmos"`` (the full delay law).
+    name:
+        Label for reports.
+    """
+
+    vmax: float = 5.0
+    vmin: float = 0.5
+    fmax: float = 1.0
+    vth: float = 0.8
+    alpha: float = 2.0
+    ceff: float = 1.0
+    law: str = "linear"
+    name: str = "processor"
+    _k: float = field(init=False, repr=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.vmax <= 0 or self.vmin <= 0:
+            raise InvalidProcessorError("voltages must be positive")
+        if self.vmin >= self.vmax:
+            raise InvalidProcessorError(
+                f"vmin ({self.vmin}) must be strictly below vmax ({self.vmax})"
+            )
+        if self.fmax <= 0:
+            raise InvalidProcessorError("fmax must be positive")
+        if self.ceff <= 0:
+            raise InvalidProcessorError("ceff must be positive")
+        if self.law not in _LAWS:
+            raise InvalidProcessorError(f"unknown delay law {self.law!r}; expected one of {_LAWS}")
+        if self.law == "cmos":
+            if not 1.0 <= self.alpha <= 2.0:
+                raise InvalidProcessorError(f"alpha must lie in [1, 2], got {self.alpha}")
+            if self.vth < 0:
+                raise InvalidProcessorError("vth must be non-negative")
+            if self.vmin <= self.vth:
+                raise InvalidProcessorError(
+                    f"vmin ({self.vmin}) must exceed the threshold voltage ({self.vth})"
+                )
+            # Calibrate the delay constant so that f(vmax) == fmax.
+            k = (self.vmax - self.vth) ** self.alpha / (self.fmax * self.vmax)
+        else:
+            # Linear law: f = fmax * V / vmax, i.e. k = vmax / fmax in t = k/V ... V.
+            k = self.vmax / self.fmax
+        object.__setattr__(self, "_k", k)
+
+    # ------------------------------------------------------------------ #
+    # Frequency <-> voltage
+    # ------------------------------------------------------------------ #
+    def frequency(self, voltage: float) -> float:
+        """Clock frequency (cycles per time unit) at ``voltage``."""
+        self._check_voltage(voltage)
+        if self.law == "linear":
+            return voltage / self._k
+        return (voltage - self.vth) ** self.alpha / (self._k * voltage)
+
+    def cycle_time(self, voltage: float) -> float:
+        """Duration of one cycle at ``voltage``."""
+        return 1.0 / self.frequency(voltage)
+
+    @property
+    def fmin(self) -> float:
+        """Frequency at the minimum supply voltage."""
+        return self.frequency(self.vmin)
+
+    def voltage_for_frequency(self, frequency: float) -> float:
+        """Lowest supply voltage able to run at ``frequency``.
+
+        Frequencies outside ``[fmin, fmax]`` are clipped to the voltage range
+        (requesting more than ``fmax`` returns ``vmax``; the caller is
+        responsible for deciding whether that constitutes a deadline risk).
+        """
+        if frequency <= 0:
+            return self.vmin
+        if frequency >= self.fmax:
+            return self.vmax
+        if frequency <= self.fmin:
+            return self.vmin
+        if self.law == "linear":
+            return min(max(frequency * self._k, self.vmin), self.vmax)
+        if self.alpha == 2.0:
+            # f·k·V = (V − Vth)² → V² − (2·Vth + k·f)·V + Vth² = 0; take the root above Vth.
+            b = 2.0 * self.vth + self._k * frequency
+            discriminant = b * b - 4.0 * self.vth * self.vth
+            voltage = 0.5 * (b + math.sqrt(max(discriminant, 0.0)))
+        elif self.alpha == 1.0:
+            # f·k·V = V − Vth → V = Vth / (1 − k·f)
+            denom = 1.0 - self._k * frequency
+            if denom <= 0:
+                return self.vmax
+            voltage = self.vth / denom
+        else:
+            voltage = self._invert_frequency_bisect(frequency)
+        return min(max(voltage, self.vmin), self.vmax)
+
+    def _invert_frequency_bisect(self, frequency: float, *, tol: float = 1e-12, iters: int = 200) -> float:
+        """Numerically invert the cmos delay law for non-integer ``alpha``."""
+        low, high = self.vmin, self.vmax
+        for _ in range(iters):
+            mid = 0.5 * (low + high)
+            if self.frequency(mid) < frequency:
+                low = mid
+            else:
+                high = mid
+            if high - low < tol:
+                break
+        return high
+
+    # ------------------------------------------------------------------ #
+    # Energy
+    # ------------------------------------------------------------------ #
+    def energy_per_cycle(self, voltage: float, ceff: Optional[float] = None) -> float:
+        """Energy of one cycle at ``voltage`` (``Ceff · V²``)."""
+        self._check_voltage(voltage)
+        capacitance = self.ceff if ceff is None else ceff
+        return capacitance * voltage * voltage
+
+    def energy(self, cycles: float, voltage: float, ceff: Optional[float] = None) -> float:
+        """Energy of executing ``cycles`` cycles at ``voltage``."""
+        if cycles < 0:
+            raise InvalidProcessorError(f"cycles must be non-negative, got {cycles}")
+        return cycles * self.energy_per_cycle(voltage, ceff)
+
+    def power(self, voltage: float, ceff: Optional[float] = None) -> float:
+        """Dynamic power at ``voltage`` (``Ceff · V² · f(V)``)."""
+        return self.energy_per_cycle(voltage, ceff) * self.frequency(voltage)
+
+    def energy_for_workload_in_time(self, cycles: float, available_time: float,
+                                    ceff: Optional[float] = None) -> float:
+        """Energy of executing ``cycles`` stretched over exactly ``available_time``.
+
+        The operating point is the slowest one that still finishes in time,
+        i.e. ``f = cycles / available_time`` clipped to the processor range.
+        This is the quantity the offline NLP minimises for each sub-instance.
+        """
+        if available_time <= 0:
+            raise InvalidProcessorError(f"available_time must be positive, got {available_time}")
+        if cycles <= 0:
+            return 0.0
+        voltage = self.voltage_for_frequency(cycles / available_time)
+        return self.energy(cycles, voltage, ceff)
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def clip_frequency(self, frequency: float) -> float:
+        """Clip ``frequency`` into ``[fmin, fmax]``."""
+        return min(max(frequency, self.fmin), self.fmax)
+
+    def clip_voltage(self, voltage: float) -> float:
+        """Clip ``voltage`` into ``[vmin, vmax]``."""
+        return min(max(voltage, self.vmin), self.vmax)
+
+    def max_cycles_in(self, duration: float) -> float:
+        """Largest number of cycles executable within ``duration`` at full speed."""
+        if duration < 0:
+            raise InvalidProcessorError("duration must be non-negative")
+        return duration * self.fmax
+
+    def min_time_for(self, cycles: float) -> float:
+        """Shortest time needed to execute ``cycles`` (at ``fmax``)."""
+        if cycles < 0:
+            raise InvalidProcessorError("cycles must be non-negative")
+        return cycles / self.fmax
+
+    def _check_voltage(self, voltage: float) -> None:
+        if voltage <= 0:
+            raise InvalidProcessorError(f"voltage must be positive, got {voltage}")
+
+    def describe(self) -> str:
+        """Single-line summary used in experiment reports."""
+        if self.law == "cmos":
+            detail = f"vth={self.vth:g}, alpha={self.alpha:g}"
+        else:
+            detail = "frequency proportional to voltage"
+        return (
+            f"{self.name}: law={self.law} ({detail}), V∈[{self.vmin:g}, {self.vmax:g}], "
+            f"fmax={self.fmax:g}, ceff={self.ceff:g}"
+        )

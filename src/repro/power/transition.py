@@ -1,0 +1,88 @@
+"""Voltage-transition overhead model.
+
+The paper explicitly ignores voltage-transition overhead, arguing that task
+execution times dwarf transition times.  To let users *check* that argument
+for their own parameters, this module provides a simple overhead model in the
+style of Mochocki, Hu & Quan (ICCAD'02): a transition between supply voltages
+``v1 → v2`` costs
+
+* time   ``t = |v2 − v1| / slew_rate``  (bounded below by ``min_time``), and
+* energy ``E = efficiency_loss · C_dd · |v2² − v1²|``
+
+where ``C_dd`` models the capacitance of the voltage converter.  The runtime
+simulator can be configured with a :class:`TransitionModel`; the default
+:func:`TransitionModel.ideal` has zero cost and reproduces the paper's
+assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import InvalidProcessorError
+
+__all__ = ["TransitionModel"]
+
+
+@dataclass(frozen=True)
+class TransitionModel:
+    """Cost of switching the supply voltage.
+
+    Parameters
+    ----------
+    slew_rate:
+        Voltage change per time unit (V per time unit).  ``float("inf")``
+        means instantaneous transitions.
+    min_time:
+        Minimum latency of any non-trivial transition (models PLL re-lock).
+    cdd:
+        Effective capacitance of the DC-DC converter (energy term).
+    efficiency_loss:
+        Fraction of the converter charge that is wasted per transition.
+    """
+
+    slew_rate: float = float("inf")
+    min_time: float = 0.0
+    cdd: float = 0.0
+    efficiency_loss: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.slew_rate <= 0:
+            raise InvalidProcessorError("slew_rate must be positive")
+        if self.min_time < 0:
+            raise InvalidProcessorError("min_time must be non-negative")
+        if self.cdd < 0:
+            raise InvalidProcessorError("cdd must be non-negative")
+        if not 0.0 <= self.efficiency_loss <= 1.0:
+            raise InvalidProcessorError("efficiency_loss must lie in [0, 1]")
+
+    @classmethod
+    def ideal(cls) -> "TransitionModel":
+        """Zero-cost transitions (the paper's assumption)."""
+        return cls()
+
+    @classmethod
+    def realistic(cls, *, slew_rate: float = 50.0, min_time: float = 0.01,
+                  cdd: float = 0.1, efficiency_loss: float = 0.9) -> "TransitionModel":
+        """A moderately pessimistic converter, useful for the overhead ablation."""
+        return cls(slew_rate=slew_rate, min_time=min_time, cdd=cdd,
+                   efficiency_loss=efficiency_loss)
+
+    @property
+    def is_free(self) -> bool:
+        """True when transitions cost neither time nor energy."""
+        return self.cdd == 0.0 and self.min_time == 0.0 and self.slew_rate == float("inf")
+
+    def transition_time(self, v_from: float, v_to: float) -> float:
+        """Latency of switching from ``v_from`` to ``v_to``."""
+        if v_from == v_to:
+            return 0.0
+        if self.slew_rate == float("inf"):
+            return self.min_time
+        return max(abs(v_to - v_from) / self.slew_rate, self.min_time)
+
+    def transition_energy(self, v_from: float, v_to: float) -> float:
+        """Energy of switching from ``v_from`` to ``v_to``."""
+        if v_from == v_to:
+            return 0.0
+        return self.efficiency_loss * self.cdd * abs(v_to * v_to - v_from * v_from)

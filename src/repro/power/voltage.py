@@ -1,0 +1,150 @@
+"""Discrete voltage levels and quantisation policies.
+
+The paper assumes "the processor can use any voltage value within a specified
+range" (continuous DVS).  Real processors expose a handful of discrete
+voltage/frequency pairs, so this module provides:
+
+* :class:`VoltageLevels` — an ordered set of admissible supply voltages.
+* Quantisation policies that map an ideal (continuous) voltage request onto
+  the discrete set:
+
+  - ``"ceiling"``: the next level *above* the request (always deadline-safe);
+  - ``"floor"``: the next level below (energy-optimistic, may miss deadlines —
+    only useful for bounding studies);
+  - ``"nearest"``: the closest level;
+  - ``"split"``: the classic two-level split of Ishihara & Yasuura (ISLPED'98)
+    that emulates the continuous voltage exactly in terms of completed cycles
+    by spending part of the interval at the level below and the rest at the
+    level above.
+
+The quantisation ablation benchmark (`bench_ablation_discrete_voltage`) uses
+these to measure how much of the ACS gain survives discretisation.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..core.errors import InvalidProcessorError
+from .processor import ProcessorModel
+
+__all__ = ["VoltageLevels", "split_two_level", "QUANTIZATION_POLICIES"]
+
+QUANTIZATION_POLICIES = ("ceiling", "floor", "nearest", "split")
+
+
+@dataclass(frozen=True)
+class VoltageLevels:
+    """An ordered, de-duplicated set of admissible supply voltages."""
+
+    levels: Tuple[float, ...]
+
+    def __init__(self, levels: Sequence[float]) -> None:
+        cleaned = sorted({float(v) for v in levels})
+        if not cleaned:
+            raise InvalidProcessorError("at least one voltage level is required")
+        if cleaned[0] <= 0:
+            raise InvalidProcessorError("voltage levels must be positive")
+        object.__setattr__(self, "levels", tuple(cleaned))
+
+    def __len__(self) -> int:
+        return len(self.levels)
+
+    def __iter__(self):
+        return iter(self.levels)
+
+    @property
+    def vmin(self) -> float:
+        return self.levels[0]
+
+    @property
+    def vmax(self) -> float:
+        return self.levels[-1]
+
+    # ------------------------------------------------------------------ #
+    # Quantisation
+    # ------------------------------------------------------------------ #
+    def ceiling(self, voltage: float) -> float:
+        """Smallest level ≥ ``voltage`` (or ``vmax`` when above the range)."""
+        index = bisect_left(self.levels, voltage - 1e-12)
+        if index >= len(self.levels):
+            return self.vmax
+        return self.levels[index]
+
+    def floor(self, voltage: float) -> float:
+        """Largest level ≤ ``voltage`` (or ``vmin`` when below the range)."""
+        index = bisect_left(self.levels, voltage + 1e-12)
+        if index == 0:
+            return self.vmin
+        return self.levels[index - 1]
+
+    def nearest(self, voltage: float) -> float:
+        """Level closest to ``voltage`` (ties resolved upward)."""
+        lower, upper = self.floor(voltage), self.ceiling(voltage)
+        if voltage - lower < upper - voltage:
+            return lower
+        return upper
+
+    def quantize(self, voltage: float, policy: str = "ceiling") -> float:
+        """Quantise ``voltage`` according to ``policy`` (see module docstring)."""
+        if policy == "ceiling":
+            return self.ceiling(voltage)
+        if policy == "floor":
+            return self.floor(voltage)
+        if policy == "nearest":
+            return self.nearest(voltage)
+        raise InvalidProcessorError(
+            f"unknown quantisation policy {policy!r}; expected one of {QUANTIZATION_POLICIES}"
+        )
+
+    def bracket(self, voltage: float) -> Tuple[float, float]:
+        """The two levels surrounding ``voltage`` (may coincide at the range ends)."""
+        return self.floor(voltage), self.ceiling(voltage)
+
+    @classmethod
+    def uniform(cls, vmin: float, vmax: float, count: int) -> "VoltageLevels":
+        """``count`` equally spaced levels spanning ``[vmin, vmax]``."""
+        if count < 1:
+            raise InvalidProcessorError("count must be at least 1")
+        if count == 1:
+            return cls([vmax])
+        step = (vmax - vmin) / (count - 1)
+        return cls([vmin + i * step for i in range(count)])
+
+
+def split_two_level(processor: ProcessorModel, levels: VoltageLevels, cycles: float,
+                    available_time: float) -> List[Tuple[float, float]]:
+    """Two-level voltage split that completes ``cycles`` in exactly ``available_time``.
+
+    Returns a list of ``(voltage, cycles_at_that_voltage)`` pairs.  When the
+    ideal (continuous) voltage coincides with an available level a single pair
+    is returned; otherwise the interval is split between the bracketing levels
+    so the total cycle count and total time are both met — the construction of
+    Ishihara & Yasuura, which is the energy-optimal use of two discrete levels.
+    """
+    if cycles <= 0:
+        return []
+    if available_time <= 0:
+        raise InvalidProcessorError("available_time must be positive")
+    ideal_voltage = processor.voltage_for_frequency(cycles / available_time)
+    lower, upper = levels.bracket(ideal_voltage)
+    f_upper = processor.frequency(upper)
+    if abs(upper - lower) < 1e-12:
+        return [(upper, cycles)]
+    f_lower = processor.frequency(lower)
+    # Solve: c_low + c_high = cycles, c_low/f_lower + c_high/f_upper = available_time.
+    # If the lower level alone is fast enough the whole workload runs there.
+    if f_lower * available_time >= cycles - 1e-12:
+        return [(lower, cycles)]
+    denominator = 1.0 / f_lower - 1.0 / f_upper
+    c_high_time_balance = (available_time - cycles / f_lower) / (-denominator)
+    c_high = min(max(c_high_time_balance, 0.0), cycles)
+    c_low = cycles - c_high
+    pairs = []
+    if c_low > 1e-12:
+        pairs.append((lower, c_low))
+    if c_high > 1e-12:
+        pairs.append((upper, c_high))
+    return pairs

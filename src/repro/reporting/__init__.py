@@ -1,0 +1,24 @@
+"""Reporting helpers: ASCII Gantt charts and JSON serialisation."""
+
+from .gantt import render_static_schedule, render_timeline
+from .serialization import (
+    load_json,
+    save_json,
+    schedule_from_dict,
+    schedule_to_dict,
+    simulation_result_to_dict,
+    taskset_from_dict,
+    taskset_to_dict,
+)
+
+__all__ = [
+    "render_static_schedule",
+    "render_timeline",
+    "taskset_to_dict",
+    "taskset_from_dict",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "simulation_result_to_dict",
+    "save_json",
+    "load_json",
+]

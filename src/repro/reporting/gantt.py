@@ -1,0 +1,112 @@
+"""ASCII Gantt rendering of static schedules and execution traces.
+
+Real DVS papers communicate schedules with small Gantt charts (the paper's
+Figures 1–4).  This module renders the same pictures as fixed-width text so
+examples, logs and test failures can show *what the schedule looks like*
+without any plotting dependency:
+
+* :func:`render_static_schedule` — one row per task; each sub-instance is drawn
+  over its slot with its planned end-time marked.
+* :func:`render_timeline` — one row per task; each executed segment is drawn
+  with a glyph indicating the relative speed (``░▒▓█`` from slowest to
+  fastest), so preemptions and slack reclamation are visible at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.timeline import Timeline
+from ..offline.schedule import StaticSchedule
+from ..power.processor import ProcessorModel
+
+__all__ = ["render_static_schedule", "render_timeline"]
+
+_SPEED_GLYPHS = "░▒▓█"
+
+
+def _column(time: float, start: float, end: float, width: int) -> int:
+    """Map an absolute time onto a character column."""
+    if end <= start:
+        return 0
+    fraction = (time - start) / (end - start)
+    return int(round(min(max(fraction, 0.0), 1.0) * (width - 1)))
+
+
+def _time_axis(start: float, end: float, width: int, label_every: int = 10) -> str:
+    """A simple ruler with tick labels every ``label_every`` columns."""
+    cells = [" "] * width
+    column = 0
+    while column < width:
+        time = start + (end - start) * column / (width - 1)
+        label = f"{time:g}"
+        for offset, char in enumerate(label):
+            if column + offset < width:
+                cells[column + offset] = char
+        column += label_every
+    return "".join(cells)
+
+
+def render_static_schedule(schedule: StaticSchedule, *, width: int = 72) -> str:
+    """Render a static schedule as an ASCII Gantt chart (one row per task)."""
+    if width < 20:
+        raise ValueError("width must be at least 20 columns")
+    horizon = schedule.expansion.horizon
+    tasks = [task.name for task in schedule.expansion.taskset.sorted_by_priority()]
+    label_width = max(len(name) for name in tasks) + 1
+    chart_width = width - label_width
+
+    lines: List[str] = []
+    for task_name in tasks:
+        cells = ["·"] * chart_width
+        for entry in schedule.entries:
+            if entry.sub.task.name != task_name:
+                continue
+            start_col = _column(entry.sub.slot_start, 0.0, horizon, chart_width)
+            end_col = _column(entry.sub.slot_end, 0.0, horizon, chart_width)
+            for col in range(start_col, max(end_col, start_col + 1)):
+                if cells[col] == "·":
+                    cells[col] = "-"
+            if entry.wc_budget > 1e-9:
+                end_time_col = _column(entry.end_time, 0.0, horizon, chart_width)
+                cells[end_time_col] = "|"
+        lines.append(task_name.ljust(label_width) + "".join(cells))
+    lines.append(" " * label_width + _time_axis(0.0, horizon, chart_width))
+    header = (f"static schedule '{schedule.method}' over one hyperperiod "
+              f"({horizon:g} time units); '-' = slot, '|' = planned end-time")
+    return "\n".join([header] + lines)
+
+
+def render_timeline(timeline: Timeline, processor: Optional[ProcessorModel] = None,
+                    *, width: int = 72, horizon: Optional[float] = None) -> str:
+    """Render an execution trace as an ASCII Gantt chart with speed shading."""
+    if width < 20:
+        raise ValueError("width must be at least 20 columns")
+    if len(timeline) == 0:
+        return "(empty timeline)"
+    start = min(segment.start for segment in timeline)
+    end = horizon if horizon is not None else timeline.makespan
+    task_names = sorted({segment.task_name for segment in timeline})
+    label_width = max(len(name) for name in task_names) + 1
+    chart_width = width - label_width
+    max_frequency = (processor.fmax if processor is not None
+                     else max(segment.frequency for segment in timeline))
+
+    lines: List[str] = []
+    for task_name in task_names:
+        cells = [" "] * chart_width
+        for segment in timeline.segments_for(task_name):
+            glyph_index = min(
+                int(segment.frequency / max(max_frequency, 1e-12) * len(_SPEED_GLYPHS)),
+                len(_SPEED_GLYPHS) - 1,
+            )
+            glyph = _SPEED_GLYPHS[glyph_index]
+            first = _column(segment.start, start, end, chart_width)
+            last = _column(segment.end, start, end, chart_width)
+            for col in range(first, max(last, first + 1)):
+                cells[col] = glyph
+        lines.append(task_name.ljust(label_width) + "".join(cells))
+    lines.append(" " * label_width + _time_axis(start, end, chart_width))
+    header = ("execution trace; shading = relative speed "
+              f"({_SPEED_GLYPHS[0]} slow … {_SPEED_GLYPHS[-1]} full speed)")
+    return "\n".join([header] + lines)

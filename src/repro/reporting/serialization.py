@@ -1,0 +1,160 @@
+"""JSON serialisation of task sets, static schedules and experiment results.
+
+Long experiment sweeps are expensive to recompute, and static schedules are
+the artefact a deployment would actually ship to the target (the online DVS
+needs only end-times and worst-case budgets).  This module provides plain-JSON
+round-trips for both, without pickling arbitrary objects:
+
+* :func:`taskset_to_dict` / :func:`taskset_from_dict`
+* :func:`schedule_to_dict` / :func:`schedule_from_dict` (reattaches to a task
+  set by re-expanding the hyperperiod and matching sub-instance keys)
+* :func:`simulation_result_to_dict`
+* :func:`save_json` / :func:`load_json`
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from ..analysis.preemption import expand_fully_preemptive
+from ..core.errors import ReproError
+from ..core.task import Task
+from ..core.taskset import TaskSet
+from ..offline.schedule import StaticSchedule
+from ..runtime.results import SimulationResult
+
+__all__ = [
+    "taskset_to_dict",
+    "taskset_from_dict",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "simulation_result_to_dict",
+    "save_json",
+    "load_json",
+]
+
+
+def taskset_to_dict(taskset: TaskSet) -> Dict:
+    """Serialise a task set (tasks plus the resolved priorities)."""
+    return {
+        "name": taskset.name,
+        "tasks": [
+            {
+                "name": task.name,
+                "period": task.period,
+                "wcec": task.wcec,
+                "acec": task.acec,
+                "bcec": task.bcec,
+                "deadline": task.deadline,
+                "ceff": task.ceff,
+                "phase": task.phase,
+                "priority": taskset.priority_of(task),
+            }
+            for task in taskset
+        ],
+    }
+
+
+def taskset_from_dict(data: Dict) -> TaskSet:
+    """Rebuild a task set serialised by :func:`taskset_to_dict`."""
+    try:
+        tasks = [
+            Task(
+                name=entry["name"],
+                period=entry["period"],
+                wcec=entry["wcec"],
+                acec=entry.get("acec"),
+                bcec=entry.get("bcec"),
+                deadline=entry.get("deadline"),
+                ceff=entry.get("ceff", 1.0),
+                phase=entry.get("phase", 0.0),
+                priority=entry.get("priority"),
+            )
+            for entry in data["tasks"]
+        ]
+    except KeyError as error:
+        raise ReproError(f"task-set dictionary is missing field {error}") from None
+    return TaskSet(tasks, priority_policy="explicit", name=data.get("name", "taskset"))
+
+
+def schedule_to_dict(schedule: StaticSchedule) -> Dict:
+    """Serialise a static schedule (what the online DVS phase needs)."""
+    return {
+        "method": schedule.method,
+        "horizon": schedule.expansion.horizon,
+        "objective_value": schedule.objective_value,
+        "taskset": taskset_to_dict(schedule.expansion.taskset),
+        "entries": [
+            {
+                "key": entry.key,
+                "end_time": entry.end_time,
+                "wc_budget": entry.wc_budget,
+                "avg_budget": entry.avg_budget,
+            }
+            for entry in schedule.entries
+        ],
+    }
+
+
+def schedule_from_dict(data: Dict) -> StaticSchedule:
+    """Rebuild a static schedule serialised by :func:`schedule_to_dict`.
+
+    The fully preemptive expansion is reconstructed from the embedded task set
+    and the entries are matched by sub-instance key, so the loaded schedule is
+    a first-class object (it can be validated, simulated and rendered).
+    """
+    taskset = taskset_from_dict(data["taskset"])
+    expansion = expand_fully_preemptive(taskset, data.get("horizon"))
+    by_key = {entry["key"]: entry for entry in data["entries"]}
+    missing = [sub.key for sub in expansion.sub_instances if sub.key not in by_key]
+    if missing:
+        raise ReproError(
+            f"schedule data does not cover sub-instances {missing[:5]}"
+            + ("..." if len(missing) > 5 else "")
+        )
+    end_times = [by_key[sub.key]["end_time"] for sub in expansion.sub_instances]
+    budgets = [by_key[sub.key]["wc_budget"] for sub in expansion.sub_instances]
+    return StaticSchedule.from_vectors(
+        expansion, end_times, budgets,
+        method=data.get("method", "loaded"),
+        objective_value=data.get("objective_value"),
+        metadata={"loaded": True},
+    )
+
+
+def simulation_result_to_dict(result: SimulationResult) -> Dict:
+    """Serialise the aggregate outcome of a simulation run (without the timeline)."""
+    return {
+        "method": result.method,
+        "policy": result.policy,
+        "n_hyperperiods": result.n_hyperperiods,
+        "total_energy": result.total_energy,
+        "mean_energy_per_hyperperiod": result.mean_energy_per_hyperperiod,
+        "transition_energy": result.transition_energy,
+        "energy_by_task": dict(result.energy_by_task),
+        "jobs_completed": result.jobs_completed,
+        "deadline_misses": [
+            {
+                "task": miss.task_name,
+                "job_index": miss.job_index,
+                "hyperperiod_index": miss.hyperperiod_index,
+                "deadline": miss.deadline,
+                "finish_time": miss.finish_time,
+            }
+            for miss in result.deadline_misses
+        ],
+    }
+
+
+def save_json(data: Dict, path: Union[str, Path]) -> Path:
+    """Write a serialised dictionary to ``path`` as pretty-printed JSON."""
+    target = Path(path)
+    target.write_text(json.dumps(data, indent=2, sort_keys=True))
+    return target
+
+
+def load_json(path: Union[str, Path]) -> Dict:
+    """Read a JSON file written by :func:`save_json`."""
+    return json.loads(Path(path).read_text())

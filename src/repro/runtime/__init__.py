@@ -1,0 +1,26 @@
+"""Online DVS runtime: discrete-event simulator, slack policies, result records."""
+
+from .dvs import (
+    GreedySlackPolicy,
+    NoReclamationPolicy,
+    ProportionalSlackPolicy,
+    SlackPolicy,
+    SpeedRequest,
+    get_slack_policy,
+)
+from .results import DeadlineMiss, SimulationResult, improvement_percent
+from .simulator import DVSSimulator, SimulationConfig
+
+__all__ = [
+    "DVSSimulator",
+    "SimulationConfig",
+    "SimulationResult",
+    "DeadlineMiss",
+    "improvement_percent",
+    "SlackPolicy",
+    "SpeedRequest",
+    "GreedySlackPolicy",
+    "NoReclamationPolicy",
+    "ProportionalSlackPolicy",
+    "get_slack_policy",
+]

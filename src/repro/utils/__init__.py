@@ -1,0 +1,22 @@
+"""Small shared utilities (exact rational math, table formatting, validation)."""
+
+from .rational import (
+    almost_equal,
+    almost_geq,
+    almost_leq,
+    fraction_lcm,
+    lcm_of_values,
+    to_fraction,
+)
+from .tables import format_csv, format_markdown_table
+
+__all__ = [
+    "almost_equal",
+    "almost_geq",
+    "almost_leq",
+    "fraction_lcm",
+    "lcm_of_values",
+    "to_fraction",
+    "format_csv",
+    "format_markdown_table",
+]

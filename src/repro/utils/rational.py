@@ -1,0 +1,67 @@
+"""Exact rational helpers for hyperperiod computation.
+
+Task periods are real numbers (the CNC/GAP case studies use milliseconds with
+fractional values), so the hyperperiod cannot be computed with an integer LCM
+directly.  We convert each period to a :class:`fractions.Fraction` with a
+bounded denominator and take the LCM of the fractions, which keeps the result
+exact for any realistic period specification.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd
+from typing import Iterable, Sequence
+
+__all__ = ["to_fraction", "fraction_lcm", "lcm_of_values", "almost_equal", "almost_leq", "almost_geq"]
+
+#: Maximum denominator used when converting floats to fractions.  1e6 keeps
+#: micro-second resolution for periods expressed in seconds.
+MAX_DENOMINATOR = 10 ** 6
+
+
+def to_fraction(value: float, max_denominator: int = MAX_DENOMINATOR) -> Fraction:
+    """Convert ``value`` to a fraction with a bounded denominator."""
+    if value <= 0:
+        raise ValueError(f"expected a positive value, got {value}")
+    return Fraction(value).limit_denominator(max_denominator)
+
+
+def fraction_lcm(a: Fraction, b: Fraction) -> Fraction:
+    """Least common multiple of two positive fractions.
+
+    ``lcm(p/q, r/s) = lcm(p, r) / gcd(q, s)`` once both are in lowest terms.
+    """
+    numerator = a.numerator * b.numerator // gcd(a.numerator, b.numerator)
+    denominator = gcd(a.denominator, b.denominator)
+    return Fraction(numerator, denominator)
+
+
+def lcm_of_values(values: Sequence[float], max_denominator: int = MAX_DENOMINATOR) -> float:
+    """Least common multiple of a sequence of positive real values."""
+    if not values:
+        raise ValueError("cannot compute the LCM of an empty sequence")
+    result = to_fraction(values[0], max_denominator)
+    for value in values[1:]:
+        result = fraction_lcm(result, to_fraction(value, max_denominator))
+    return float(result)
+
+
+def almost_equal(a: float, b: float, *, rel: float = 1e-9, abs_tol: float = 1e-9) -> bool:
+    """Tolerant float equality used by schedule invariant checks."""
+    return abs(a - b) <= max(abs_tol, rel * max(abs(a), abs(b)))
+
+
+def almost_leq(a: float, b: float, *, tol: float = 1e-9) -> bool:
+    """``a <= b`` with tolerance."""
+    return a <= b + tol
+
+
+def almost_geq(a: float, b: float, *, tol: float = 1e-9) -> bool:
+    """``a >= b`` with tolerance."""
+    return a >= b - tol
+
+
+def all_positive(values: Iterable[float]) -> bool:
+    """True when every element of ``values`` is strictly positive."""
+    return all(v > 0 for v in values)

@@ -1,0 +1,53 @@
+"""Plain-text table rendering for the experiment harness.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers render them as GitHub-flavoured markdown tables or CSV without pulling
+in any third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+__all__ = ["format_markdown_table", "format_csv"]
+
+Cell = Union[str, int, float]
+
+
+def _render_cell(cell: Cell, float_format: str) -> str:
+    if isinstance(cell, bool):  # bool is an int subclass; render explicitly
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        return format(cell, float_format)
+    return str(cell)
+
+
+def format_markdown_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]],
+                          float_format: str = ".2f") -> str:
+    """Render ``headers``/``rows`` as a GitHub-flavoured markdown table."""
+    rendered_rows: List[List[str]] = [[_render_cell(c, float_format) for c in row] for row in rows]
+    header_cells = [str(h) for h in headers]
+    widths = [len(h) for h in header_cells]
+    for row in rendered_rows:
+        if len(row) != len(header_cells):
+            raise ValueError(
+                f"row has {len(row)} cells but the table has {len(header_cells)} columns: {row}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)) + " |"
+
+    lines = [fmt_row(header_cells), "| " + " | ".join("-" * w for w in widths) + " |"]
+    lines.extend(fmt_row(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def format_csv(headers: Sequence[str], rows: Iterable[Sequence[Cell]],
+               float_format: str = ".6g") -> str:
+    """Render ``headers``/``rows`` as CSV text (no quoting; cells must be simple)."""
+    lines = [",".join(str(h) for h in headers)]
+    for row in rows:
+        lines.append(",".join(_render_cell(c, float_format) for c in row))
+    return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""Workload models: execution-cycle distributions and benchmark task sets."""
+
+from .cnc import CNC_TASK_PARAMETERS, cnc_taskset
+from .distributions import (
+    BimodalWorkload,
+    FixedWorkload,
+    NormalWorkload,
+    UniformWorkload,
+    WorkloadModel,
+    get_workload_model,
+)
+from .gap import GAP_TASK_PARAMETERS, gap_taskset
+from .random_tasksets import (
+    RandomTaskSetConfig,
+    generate_random_taskset,
+    generate_random_tasksets,
+)
+
+__all__ = [
+    "WorkloadModel",
+    "NormalWorkload",
+    "UniformWorkload",
+    "FixedWorkload",
+    "BimodalWorkload",
+    "get_workload_model",
+    "RandomTaskSetConfig",
+    "generate_random_taskset",
+    "generate_random_tasksets",
+    "cnc_taskset",
+    "CNC_TASK_PARAMETERS",
+    "gap_taskset",
+    "GAP_TASK_PARAMETERS",
+]

@@ -1,0 +1,161 @@
+"""Execution-cycle (workload) distributions.
+
+The paper's experiments draw the actual number of execution cycles of every
+job from a normal distribution truncated to ``[BCEC, WCEC]`` whose mean is the
+ACEC; the ratio ``BCEC/WCEC`` is swept from 0.1 (highly variable workload) to
+0.9 (nearly fixed workload).  Additional distributions are provided for
+ablations and for the property-based tests: uniform, fixed (always ACEC or
+always WCEC) and bimodal (mostly short with occasional worst-case bursts — the
+"small number of cycles but occasionally a large number" scenario the paper's
+abstract motivates).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import WorkloadError
+from ..core.task import Task
+
+__all__ = [
+    "WorkloadModel",
+    "NormalWorkload",
+    "UniformWorkload",
+    "FixedWorkload",
+    "BimodalWorkload",
+    "get_workload_model",
+]
+
+
+class WorkloadModel(ABC):
+    """Draws the actual execution cycles of a job of a given task."""
+
+    #: short name used in experiment reports
+    name: str = "abstract"
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator, task: Task) -> float:
+        """Return the cycles the next job of ``task`` actually requires (within [BCEC, WCEC])."""
+
+    def expected(self, task: Task) -> float:
+        """Expected cycles per job (defaults to the task's ACEC)."""
+        return task.acec
+
+
+@dataclass
+class NormalWorkload(WorkloadModel):
+    """Truncated normal distribution between BCEC and WCEC (the paper's model).
+
+    Parameters
+    ----------
+    sigma_fraction:
+        Standard deviation as a fraction of the ``WCEC − BCEC`` range.  The
+        default of 1/6 puts ±3σ at the interval ends, the usual convention for
+        "normal between best and worst case".
+    """
+
+    sigma_fraction: float = 1.0 / 6.0
+    name: str = "normal"
+
+    def __post_init__(self) -> None:
+        if self.sigma_fraction <= 0:
+            raise WorkloadError("sigma_fraction must be positive")
+
+    def sample(self, rng: np.random.Generator, task: Task) -> float:
+        span = task.wcec - task.bcec
+        if span <= 0:
+            return task.wcec
+        mean = task.acec
+        sigma = self.sigma_fraction * span
+        value = rng.normal(mean, sigma)
+        return float(np.clip(value, task.bcec, task.wcec))
+
+
+@dataclass
+class UniformWorkload(WorkloadModel):
+    """Uniform distribution between BCEC and WCEC."""
+
+    name: str = "uniform"
+
+    def sample(self, rng: np.random.Generator, task: Task) -> float:
+        if task.wcec <= task.bcec:
+            return task.wcec
+        return float(rng.uniform(task.bcec, task.wcec))
+
+    def expected(self, task: Task) -> float:
+        return 0.5 * (task.bcec + task.wcec)
+
+
+@dataclass
+class FixedWorkload(WorkloadModel):
+    """Deterministic workload: always the ACEC, BCEC or WCEC.
+
+    ``mode`` is one of ``"acec"`` (default), ``"bcec"`` or ``"wcec"``.  The
+    WCEC mode is what the worst-case feasibility tests simulate.
+    """
+
+    mode: str = "acec"
+    name: str = "fixed"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("acec", "bcec", "wcec"):
+            raise WorkloadError(f"mode must be 'acec', 'bcec' or 'wcec', got {self.mode!r}")
+
+    def sample(self, rng: np.random.Generator, task: Task) -> float:
+        return {"acec": task.acec, "bcec": task.bcec, "wcec": task.wcec}[self.mode]
+
+    def expected(self, task: Task) -> float:
+        return {"acec": task.acec, "bcec": task.bcec, "wcec": task.wcec}[self.mode]
+
+
+@dataclass
+class BimodalWorkload(WorkloadModel):
+    """Mostly-short jobs with occasional worst-case bursts.
+
+    With probability ``burst_probability`` a job takes its WCEC; otherwise it
+    takes the BCEC (plus small jitter).  This is the "small number of cycles
+    but occasionally a large number" pattern from the paper's abstract, where
+    ACS has the most room to win.
+    """
+
+    burst_probability: float = 0.1
+    jitter_fraction: float = 0.05
+    name: str = "bimodal"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.burst_probability <= 1.0:
+            raise WorkloadError("burst_probability must lie in [0, 1]")
+        if self.jitter_fraction < 0:
+            raise WorkloadError("jitter_fraction must be non-negative")
+
+    def sample(self, rng: np.random.Generator, task: Task) -> float:
+        if rng.random() < self.burst_probability:
+            return task.wcec
+        span = task.wcec - task.bcec
+        jitter = rng.uniform(0.0, self.jitter_fraction * span) if span > 0 else 0.0
+        return float(min(task.bcec + jitter, task.wcec))
+
+    def expected(self, task: Task) -> float:
+        span = task.wcec - task.bcec
+        base = task.bcec + 0.5 * self.jitter_fraction * span
+        return self.burst_probability * task.wcec + (1.0 - self.burst_probability) * base
+
+
+_MODELS = {
+    "normal": NormalWorkload,
+    "uniform": UniformWorkload,
+    "fixed": FixedWorkload,
+    "bimodal": BimodalWorkload,
+}
+
+
+def get_workload_model(name: str, **kwargs) -> WorkloadModel:
+    """Instantiate a workload model by name (``"normal"``, ``"uniform"``, ``"fixed"``, ``"bimodal"``)."""
+    try:
+        factory = _MODELS[name.lower()]
+    except KeyError:
+        raise WorkloadError(f"unknown workload model {name!r}; known: {sorted(_MODELS)}") from None
+    return factory(**kwargs)

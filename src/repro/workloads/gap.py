@@ -1,0 +1,75 @@
+"""The GAP (Generic Avionics Platform) task set.
+
+The paper's second real-life case study is the Generic Avionics Platform of
+Locke, Vogel and Mesler ("Building a predictable avionics platform in Ada: a
+case study"), another standard fixed-priority benchmark.  The published
+application consists of periodic tasks with rates between 1 Hz and 40 Hz
+(periods 25 ms – 1000 ms) covering weapon release, radar tracking, navigation,
+displays and housekeeping.
+
+The representative subset below preserves the published period structure and
+the relative execution weights.  As with the CNC set (and as in the paper),
+the worst-case cycles are rescaled to a target utilisation and the BCEC/WCEC
+ratio is swept externally; DESIGN.md records this substitution.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.task import Task
+from ..core.taskset import TaskSet
+from ..power.processor import ProcessorModel
+
+__all__ = ["gap_taskset", "GAP_TASK_PARAMETERS"]
+
+#: (name, period [ms], worst-case execution time at full speed [ms])
+GAP_TASK_PARAMETERS = (
+    ("weapon_release", 200.0, 3.0),
+    ("radar_tracking", 25.0, 2.0),
+    ("target_tracking", 50.0, 4.0),
+    ("aircraft_flight_data", 50.0, 8.0),
+    ("display_graphic", 80.0, 9.0),
+    ("hook_update", 80.0, 2.0),
+    ("steering", 200.0, 6.0),
+    ("display_hud", 100.0, 6.0),
+    ("display_status", 200.0, 3.0),
+    ("nav_update", 100.0, 8.0),
+    ("display_stores", 200.0, 1.0),
+    ("display_keyset", 200.0, 1.0),
+    ("tracking_filter", 25.0, 2.0),
+    ("nav_steering", 200.0, 3.0),
+    ("data_bus_poll", 40.0, 1.0),
+    ("weapon_aim", 50.0, 3.0),
+    ("weapon_protocol", 200.0, 1.0),
+)
+
+
+def gap_taskset(processor: Optional[ProcessorModel] = None, *,
+                target_utilization: float = 0.7,
+                bcec_wcec_ratio: float = 0.5,
+                n_tasks: Optional[int] = None) -> TaskSet:
+    """Build the Generic Avionics Platform task set.
+
+    Parameters
+    ----------
+    processor:
+        When given, worst-case cycles are rescaled so the set utilises
+        ``target_utilization`` at maximum speed.
+    target_utilization:
+        Desired worst-case utilisation after rescaling.
+    bcec_wcec_ratio:
+        BCEC/WCEC ratio applied to every task (ACEC is the midpoint).
+    n_tasks:
+        Optionally keep only the first ``n_tasks`` tasks (useful to bound the
+        hyperperiod expansion in quick test runs).
+    """
+    parameters = GAP_TASK_PARAMETERS if n_tasks is None else GAP_TASK_PARAMETERS[:n_tasks]
+    tasks: List[Task] = [
+        Task(name=name, period=period, wcec=wcet)
+        for name, period, wcet in parameters
+    ]
+    taskset = TaskSet(tasks, name="gap")
+    if processor is not None:
+        taskset = taskset.scaled_to_utilization(target_utilization, processor.fmax)
+    return taskset.with_bcec_ratio(bcec_wcec_ratio)

@@ -1,0 +1,106 @@
+"""Random task-set generator reproducing the paper's experimental setup.
+
+For Figure 6(a) the paper constructs, for each task-set size, one hundred
+random task sets with
+
+* periods/deadlines drawn uniformly from a range (10–100 time units here);
+* WCEC scaled so the processor utilisation at maximum speed is about 70 %;
+* BCEC = ratio × WCEC with the ratio swept over {0.1, 0.5, 0.9};
+* ACEC = (BCEC + WCEC) / 2, the mean of the truncated normal workload.
+
+Two practical adjustments keep the reproduction laptop-friendly and are
+documented in DESIGN.md:
+
+* periods are drawn from a divisor-friendly set (so the hyperperiod — and with
+  it the number of sub-instances the NLP optimises over — stays bounded); the
+  paper similarly caps each task set at one thousand sub-instances;
+* random task sets that are not RM-schedulable at maximum speed are discarded
+  and regenerated, as they admit no voltage schedule at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.feasibility import check_feasibility
+from ..analysis.preemption import expand_fully_preemptive
+from ..core.errors import WorkloadError
+from ..core.task import Task
+from ..core.taskset import TaskSet
+from ..power.processor import ProcessorModel
+
+__all__ = ["RandomTaskSetConfig", "generate_random_taskset", "generate_random_tasksets"]
+
+#: Period values used by default.  All divide 600, so the hyperperiod of any
+#: subset is at most 600 and the sub-instance count stays manageable.
+_DEFAULT_PERIODS = (10.0, 20.0, 25.0, 30.0, 50.0, 60.0, 75.0, 100.0)
+
+
+@dataclass(frozen=True)
+class RandomTaskSetConfig:
+    """Parameters of the random task-set generator."""
+
+    n_tasks: int = 4
+    target_utilization: float = 0.7
+    bcec_wcec_ratio: float = 0.5
+    periods: Sequence[float] = _DEFAULT_PERIODS
+    wcec_range: tuple = (1_000.0, 10_000.0)
+    max_sub_instances: int = 1_000
+    max_attempts: int = 200
+
+    def __post_init__(self) -> None:
+        if self.n_tasks <= 0:
+            raise WorkloadError("n_tasks must be positive")
+        if not 0 < self.target_utilization <= 1.0:
+            raise WorkloadError("target_utilization must lie in (0, 1]")
+        if not 0 < self.bcec_wcec_ratio <= 1.0:
+            raise WorkloadError("bcec_wcec_ratio must lie in (0, 1]")
+        if not self.periods:
+            raise WorkloadError("periods must be non-empty")
+        if self.wcec_range[0] <= 0 or self.wcec_range[1] < self.wcec_range[0]:
+            raise WorkloadError("wcec_range must be a positive, ordered pair")
+
+
+def _draw_taskset(config: RandomTaskSetConfig, rng: np.random.Generator,
+                  processor: ProcessorModel, index: int) -> TaskSet:
+    periods = rng.choice(np.asarray(config.periods, dtype=float), size=config.n_tasks, replace=True)
+    wcecs = rng.uniform(config.wcec_range[0], config.wcec_range[1], size=config.n_tasks)
+    tasks: List[Task] = []
+    for task_index, (period, wcec) in enumerate(zip(periods, wcecs)):
+        tasks.append(Task(name=f"T{task_index + 1}", period=float(period), wcec=float(wcec)))
+    taskset = TaskSet(tasks, name=f"random-{index}")
+    taskset = taskset.scaled_to_utilization(config.target_utilization, processor.fmax)
+    taskset = taskset.with_bcec_ratio(config.bcec_wcec_ratio)
+    return taskset
+
+
+def generate_random_taskset(config: RandomTaskSetConfig, processor: ProcessorModel,
+                            rng: Optional[np.random.Generator] = None,
+                            index: int = 0) -> TaskSet:
+    """Draw one feasible random task set (retrying until schedulable at max speed)."""
+    generator = rng if rng is not None else np.random.default_rng()
+    for _ in range(config.max_attempts):
+        taskset = _draw_taskset(config, generator, processor, index)
+        report = check_feasibility(taskset, processor)
+        if not report.schedulable:
+            continue
+        expansion = expand_fully_preemptive(taskset)
+        if len(expansion) > config.max_sub_instances:
+            continue
+        return taskset
+    raise WorkloadError(
+        f"could not generate a feasible task set with {config.n_tasks} tasks at utilisation "
+        f"{config.target_utilization} within {config.max_attempts} attempts"
+    )
+
+
+def generate_random_tasksets(config: RandomTaskSetConfig, processor: ProcessorModel,
+                             count: int, seed: Optional[int] = None) -> List[TaskSet]:
+    """Draw ``count`` independent feasible task sets (the paper uses 100 per data point)."""
+    if count <= 0:
+        raise WorkloadError("count must be positive")
+    rng = np.random.default_rng(seed)
+    return [generate_random_taskset(config, processor, rng, index) for index in range(count)]

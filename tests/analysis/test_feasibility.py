@@ -1,0 +1,45 @@
+"""Tests for the combined feasibility check."""
+
+import pytest
+
+from repro.analysis.feasibility import assert_feasible, check_feasibility
+from repro.core.errors import InfeasibleTaskSetError
+from repro.core.task import Task
+from repro.core.taskset import TaskSet
+
+
+class TestCheckFeasibility:
+    def test_feasible_set_passes(self, two_task_set, processor):
+        report = check_feasibility(two_task_set, processor)
+        assert report.schedulable
+        assert bool(report)
+        assert report.utilization == pytest.approx(0.7)
+        assert report.violations == []
+        assert report.response_times["A"] <= 10
+
+    def test_overutilised_set_fails(self, processor):
+        taskset = TaskSet([Task("a", period=10, wcec=8000), Task("b", period=20, wcec=8000)])
+        report = check_feasibility(taskset, processor)
+        assert not report.schedulable
+        assert any("utilisation" in v for v in report.violations)
+
+    def test_response_time_violation_detected(self, processor):
+        # Utilisation below 1 but RM-unschedulable (tight deadlines).
+        taskset = TaskSet([
+            Task("a", period=10, wcec=6000),
+            Task("b", period=14, wcec=5000, deadline=10),
+        ])
+        report = check_feasibility(taskset, processor)
+        assert not report.schedulable
+        assert any("response time" in v for v in report.violations)
+
+
+class TestAssertFeasible:
+    def test_returns_report_when_ok(self, two_task_set, processor):
+        report = assert_feasible(two_task_set, processor)
+        assert report.schedulable
+
+    def test_raises_when_infeasible(self, processor):
+        taskset = TaskSet([Task("a", period=10, wcec=20000)])
+        with pytest.raises(InfeasibleTaskSetError):
+            assert_feasible(taskset, processor)

@@ -1,0 +1,71 @@
+"""Tests for the fixed-priority response-time analysis."""
+
+import pytest
+
+from repro.analysis.response_time import breakdown_frequency, is_schedulable, response_times
+from repro.core.task import Task
+from repro.core.taskset import TaskSet
+from repro.power.presets import ideal_processor
+
+
+class TestResponseTimes:
+    def test_textbook_example(self, processor):
+        """Classic RTA example: C=(1,2,3)·1000 cycles, T=(4,6,10)·1 ms at fmax=1000."""
+        taskset = TaskSet([
+            Task("t1", period=4, wcec=1000),
+            Task("t2", period=6, wcec=2000),
+            Task("t3", period=10, wcec=3000),
+        ])
+        times = response_times(taskset, processor)
+        assert times["t1"] == pytest.approx(1.0)
+        assert times["t2"] == pytest.approx(3.0)
+        # t3: R = 3 + ceil(R/4)·1 + ceil(R/6)·2 → fixed point at 10.
+        assert times["t3"] == pytest.approx(10.0)
+
+    def test_unschedulable_reports_infinite(self, processor):
+        taskset = TaskSet([
+            Task("t1", period=4, wcec=2500),
+            Task("t2", period=6, wcec=2500),
+            Task("t3", period=10, wcec=3000),
+        ])
+        times = response_times(taskset, processor)
+        assert times["t3"] == float("inf") or times["t3"] > 10.0
+
+    def test_scaling_with_frequency(self, two_task_set, processor):
+        full = response_times(two_task_set, processor)
+        half = response_times(two_task_set, processor, frequency=processor.fmax / 2)
+        assert half["A"] == pytest.approx(2 * full["A"])
+
+    def test_rejects_nonpositive_frequency(self, two_task_set, processor):
+        from repro.core.errors import AnalysisError
+        with pytest.raises(AnalysisError):
+            response_times(two_task_set, processor, frequency=0.0)
+
+
+class TestSchedulability:
+    def test_schedulable_at_fmax(self, two_task_set, three_task_set, processor):
+        assert is_schedulable(two_task_set, processor)
+        assert is_schedulable(three_task_set, processor)
+
+    def test_not_schedulable_when_too_slow(self, two_task_set, processor):
+        assert not is_schedulable(two_task_set, processor, frequency=0.5 * processor.fmax)
+
+
+class TestBreakdownFrequency:
+    def test_breakdown_between_bounds(self, two_task_set, processor):
+        frequency = breakdown_frequency(two_task_set, processor)
+        assert frequency is not None
+        assert processor.fmin <= frequency <= processor.fmax
+        assert is_schedulable(two_task_set, processor, frequency)
+        # Slightly slower must fail (unless already clamped at fmin).
+        if frequency > processor.fmin * 1.01:
+            assert not is_schedulable(two_task_set, processor, frequency * 0.98)
+
+    def test_infeasible_returns_none(self, processor):
+        overloaded = TaskSet([Task("a", period=10, wcec=10_500), Task("b", period=20, wcec=2000)])
+        assert breakdown_frequency(overloaded, processor) is None
+
+    def test_light_set_clamps_to_fmin(self):
+        processor = ideal_processor(fmax=1000.0, vmin=2.5)  # fmin = 500
+        light = TaskSet([Task("a", period=100, wcec=100)])
+        assert breakdown_frequency(light, processor) == pytest.approx(processor.fmin)

@@ -1,0 +1,52 @@
+"""Tests for utilisation-based analysis."""
+
+import pytest
+
+from repro.analysis.utilization import (
+    average_utilization,
+    liu_layland_bound,
+    minimum_constant_frequency,
+    passes_liu_layland,
+    total_utilization,
+)
+from repro.core.task import Task
+from repro.core.taskset import TaskSet
+from repro.power.presets import ideal_processor
+
+
+class TestUtilization:
+    def test_total_and_average(self, two_task_set, processor):
+        assert total_utilization(two_task_set, processor) == pytest.approx(0.7)
+        assert average_utilization(two_task_set, processor) == pytest.approx(0.37)
+
+    def test_liu_layland_bound_values(self):
+        assert liu_layland_bound(1) == pytest.approx(1.0)
+        assert liu_layland_bound(2) == pytest.approx(2 * (2 ** 0.5 - 1))
+        assert liu_layland_bound(100) == pytest.approx(0.6956, abs=1e-3)  # approaches ln 2 from above
+        with pytest.raises(ValueError):
+            liu_layland_bound(0)
+
+    def test_passes_liu_layland(self, processor):
+        light = TaskSet([Task("a", period=10, wcec=1000), Task("b", period=20, wcec=2000)])
+        assert passes_liu_layland(light, processor)
+        heavy = TaskSet([Task("a", period=10, wcec=5000), Task("b", period=20, wcec=9000)])
+        assert not passes_liu_layland(heavy, processor)
+
+
+class TestMinimumConstantFrequency:
+    def test_scales_with_utilization(self, two_task_set, processor):
+        frequency = minimum_constant_frequency(two_task_set, processor)
+        assert frequency == pytest.approx(0.7 * processor.fmax)
+
+    def test_average_mode(self, two_task_set, processor):
+        frequency = minimum_constant_frequency(two_task_set, processor, use_acec=True)
+        assert frequency == pytest.approx(0.37 * processor.fmax)
+
+    def test_overloaded_returns_none(self, processor):
+        overloaded = TaskSet([Task("a", period=10, wcec=11_000)])
+        assert minimum_constant_frequency(overloaded, processor) is None
+
+    def test_never_below_fmin(self):
+        processor = ideal_processor(fmax=1000.0, vmin=2.5)  # fmin = 500
+        tiny = TaskSet([Task("a", period=100, wcec=10)])
+        assert minimum_constant_frequency(tiny, processor) == pytest.approx(processor.fmin)

@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.task import Task
+from repro.core.taskset import TaskSet
+from repro.power.presets import cmos_processor, ideal_processor
+
+
+@pytest.fixture
+def processor():
+    """The paper's simplified processor: f proportional to V, 1000 cycles/ms at 5 V."""
+    return ideal_processor(fmax=1000.0)
+
+
+@pytest.fixture
+def cmos():
+    """A full CMOS-delay-law processor."""
+    return cmos_processor(fmax=1000.0)
+
+
+@pytest.fixture
+def two_task_set():
+    """Two-task RM set used throughout: utilisation 0.7 at fmax=1000."""
+    return TaskSet([
+        Task("A", period=10, wcec=3000, acec=1500, bcec=600),
+        Task("B", period=20, wcec=8000, acec=4400, bcec=800),
+    ], name="two-tasks")
+
+
+@pytest.fixture
+def three_task_set():
+    """Three-task RM set with nested preemption (utilisation 0.75)."""
+    return TaskSet([
+        Task("hi", period=10, wcec=2000, acec=1000, bcec=400),
+        Task("mid", period=20, wcec=5000, acec=2500, bcec=1000),
+        Task("lo", period=40, wcec=12000, acec=6000, bcec=2400),
+    ], name="three-tasks")
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,89 @@
+"""Unit tests for priority-assignment policies."""
+
+import pytest
+
+from repro.core.errors import InvalidTaskSetError
+from repro.core.priorities import (
+    available_policies,
+    deadline_monotonic_priorities,
+    explicit_priorities,
+    get_priority_policy,
+    rate_monotonic_priorities,
+    validate_priorities,
+)
+from repro.core.task import Task
+
+
+def _tasks():
+    return [
+        Task("slow", period=40, wcec=10),
+        Task("fast", period=10, wcec=10),
+        Task("mid", period=20, wcec=10, deadline=5),
+    ]
+
+
+class TestRateMonotonic:
+    def test_shorter_period_higher_priority(self):
+        priorities = rate_monotonic_priorities(_tasks())
+        assert priorities["fast"] < priorities["mid"] < priorities["slow"]
+
+    def test_equal_periods_share_level(self):
+        tasks = [Task("a", period=10, wcec=1), Task("b", period=10, wcec=2),
+                 Task("c", period=20, wcec=1)]
+        priorities = rate_monotonic_priorities(tasks)
+        assert priorities["a"] == priorities["b"]
+        assert priorities["c"] > priorities["a"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidTaskSetError):
+            rate_monotonic_priorities([])
+
+
+class TestDeadlineMonotonic:
+    def test_shorter_deadline_higher_priority(self):
+        priorities = deadline_monotonic_priorities(_tasks())
+        # "mid" has deadline 5, shorter than "fast"'s implicit deadline 10.
+        assert priorities["mid"] < priorities["fast"] < priorities["slow"]
+
+
+class TestExplicit:
+    def test_uses_task_attribute(self):
+        tasks = [Task("a", period=10, wcec=1, priority=7), Task("b", period=5, wcec=1, priority=3)]
+        priorities = explicit_priorities(tasks)
+        assert priorities == {"a": 7, "b": 3}
+
+    def test_missing_priority_rejected(self):
+        with pytest.raises(InvalidTaskSetError):
+            explicit_priorities([Task("a", period=10, wcec=1)])
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["rm", "RM", "rate_monotonic", "dm", "deadline_monotonic", "explicit"])
+    def test_lookup(self, name):
+        assert callable(get_priority_policy(name))
+
+    def test_unknown_rejected(self):
+        with pytest.raises(InvalidTaskSetError):
+            get_priority_policy("edf")
+
+    def test_available_policies_listed(self):
+        names = available_policies()
+        assert "rm" in names and "dm" in names and "explicit" in names
+
+
+class TestValidation:
+    def test_missing_task_rejected(self):
+        tasks = _tasks()
+        with pytest.raises(InvalidTaskSetError):
+            validate_priorities(tasks, {"fast": 0})
+
+    def test_extra_task_rejected(self):
+        tasks = _tasks()
+        priorities = rate_monotonic_priorities(tasks)
+        priorities["ghost"] = 9
+        with pytest.raises(InvalidTaskSetError):
+            validate_priorities(tasks, priorities)
+
+    def test_complete_mapping_passes(self):
+        tasks = _tasks()
+        validate_priorities(tasks, rate_monotonic_priorities(tasks))

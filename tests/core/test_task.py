@@ -1,0 +1,150 @@
+"""Unit tests for the Task / TaskInstance / SubInstance model."""
+
+import math
+
+import pytest
+
+from repro.core.errors import InvalidTaskError
+from repro.core.task import SubInstance, Task, TaskInstance
+
+
+class TestTaskConstruction:
+    def test_defaults_fill_acec_bcec_deadline(self):
+        task = Task("t", period=10, wcec=100)
+        assert task.acec == 100
+        assert task.bcec == 100
+        assert task.deadline == 10
+
+    def test_explicit_values_preserved(self):
+        task = Task("t", period=10, wcec=100, acec=60, bcec=20, deadline=8)
+        assert (task.acec, task.bcec, task.deadline) == (60, 20, 8)
+
+    def test_bcec_defaults_to_acec(self):
+        task = Task("t", period=10, wcec=100, acec=40)
+        assert task.bcec == 40
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(period=0, wcec=10),
+        dict(period=-1, wcec=10),
+        dict(period=10, wcec=0),
+        dict(period=10, wcec=-5),
+        dict(period=10, wcec=10, acec=0),
+        dict(period=10, wcec=10, acec=20),           # acec > wcec
+        dict(period=10, wcec=10, acec=5, bcec=8),     # bcec > acec
+        dict(period=10, wcec=10, deadline=0),
+        dict(period=10, wcec=10, deadline=11),        # deadline > period
+        dict(period=10, wcec=10, ceff=0),
+        dict(period=10, wcec=10, phase=-1),
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(InvalidTaskError):
+            Task("t", **kwargs)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(InvalidTaskError):
+            Task("", period=10, wcec=10)
+
+
+class TestTaskDerived:
+    def test_ratio(self):
+        task = Task("t", period=10, wcec=100, acec=55, bcec=10)
+        assert task.bcec_wcec_ratio == pytest.approx(0.1)
+
+    def test_utilization(self):
+        task = Task("t", period=10, wcec=500)
+        assert task.utilization(fmax=100.0) == pytest.approx(0.5)
+        assert task.average_utilization(fmax=100.0) == pytest.approx(0.5)
+
+    def test_average_utilization_uses_acec(self):
+        task = Task("t", period=10, wcec=500, acec=250)
+        assert task.average_utilization(fmax=100.0) == pytest.approx(0.25)
+
+    def test_utilization_rejects_bad_fmax(self):
+        task = Task("t", period=10, wcec=500)
+        with pytest.raises(InvalidTaskError):
+            task.utilization(0.0)
+
+    def test_num_jobs(self):
+        task = Task("t", period=10, wcec=100)
+        assert task.num_jobs(40) == 4
+        assert task.num_jobs(45) == 5
+        assert task.num_jobs(0) == 0
+
+    def test_num_jobs_with_phase(self):
+        task = Task("t", period=10, wcec=100, phase=5)
+        assert task.num_jobs(40) == 4  # releases at 5, 15, 25, 35
+
+    def test_release_and_deadline(self):
+        task = Task("t", period=10, wcec=100, deadline=8, phase=2)
+        assert task.release_time(3) == pytest.approx(32)
+        assert task.absolute_deadline(3) == pytest.approx(40)
+
+    def test_release_time_negative_index_rejected(self):
+        with pytest.raises(InvalidTaskError):
+            Task("t", period=10, wcec=100).release_time(-1)
+
+
+class TestTaskScaled:
+    def test_wcec_scale(self):
+        task = Task("t", period=10, wcec=100, acec=60, bcec=20)
+        scaled = task.scaled(wcec_scale=2.0)
+        assert scaled.wcec == 200
+        assert scaled.acec == 120
+        assert scaled.bcec == 40
+        assert scaled.period == task.period
+
+    def test_bcec_ratio_sets_midpoint_acec(self):
+        task = Task("t", period=10, wcec=100)
+        scaled = task.scaled(bcec_ratio=0.1)
+        assert scaled.bcec == pytest.approx(10)
+        assert scaled.acec == pytest.approx(55)
+        assert scaled.wcec == pytest.approx(100)
+
+    def test_invalid_scale_rejected(self):
+        task = Task("t", period=10, wcec=100)
+        with pytest.raises(InvalidTaskError):
+            task.scaled(wcec_scale=0.0)
+        with pytest.raises(InvalidTaskError):
+            task.scaled(bcec_ratio=0.0)
+        with pytest.raises(InvalidTaskError):
+            task.scaled(bcec_ratio=1.5)
+
+
+class TestTaskInstance:
+    def test_key_and_window(self):
+        task = Task("t", period=10, wcec=100)
+        instance = TaskInstance(task, job_index=2, release=20, deadline=30, priority=1)
+        assert instance.key == "t[2]"
+        assert instance.window == pytest.approx(10)
+        assert instance.wcec == 100
+        assert instance.acec == 100
+        assert instance.bcec == 100
+
+    def test_bad_window_rejected(self):
+        task = Task("t", period=10, wcec=100)
+        with pytest.raises(InvalidTaskError):
+            TaskInstance(task, job_index=0, release=10, deadline=10, priority=0)
+
+
+class TestSubInstance:
+    def _instance(self):
+        task = Task("t", period=10, wcec=100)
+        return TaskInstance(task, job_index=0, release=0, deadline=10, priority=0)
+
+    def test_key_and_slot(self):
+        sub = SubInstance(self._instance(), sub_index=1, slot_start=3, slot_end=7)
+        assert sub.key == "t[0].1"
+        assert sub.slot_length == pytest.approx(4)
+        assert sub.priority == 0
+        assert sub.task.name == "t"
+
+    def test_with_order(self):
+        sub = SubInstance(self._instance(), sub_index=0, slot_start=0, slot_end=10)
+        assert sub.order == -1
+        assert sub.with_order(5).order == 5
+
+    def test_invalid_slot_rejected(self):
+        with pytest.raises(InvalidTaskError):
+            SubInstance(self._instance(), sub_index=0, slot_start=5, slot_end=5)
+        with pytest.raises(InvalidTaskError):
+            SubInstance(self._instance(), sub_index=-1, slot_start=0, slot_end=5)

@@ -1,0 +1,115 @@
+"""Unit tests for the TaskSet container."""
+
+import pytest
+
+from repro.core.errors import InvalidTaskSetError
+from repro.core.task import Task
+from repro.core.taskset import TaskSet
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidTaskSetError):
+            TaskSet([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(InvalidTaskSetError):
+            TaskSet([Task("a", period=10, wcec=1), Task("a", period=20, wcec=1)])
+
+    def test_container_protocol(self, two_task_set):
+        assert len(two_task_set) == 2
+        assert two_task_set["A"].name == "A"
+        assert two_task_set[0].name in ("A", "B")
+        assert "A" in two_task_set
+        assert two_task_set["A"] in two_task_set
+        assert "Z" not in two_task_set
+        with pytest.raises(KeyError):
+            two_task_set["Z"]
+
+    def test_unknown_priority_policy_rejected(self):
+        with pytest.raises(InvalidTaskSetError):
+            TaskSet([Task("a", period=10, wcec=1)], priority_policy="nonsense")
+
+
+class TestPriorities:
+    def test_rm_default(self, two_task_set):
+        assert two_task_set.priority_of("A") < two_task_set.priority_of("B")
+
+    def test_sorted_by_priority(self, three_task_set):
+        names = [t.name for t in three_task_set.sorted_by_priority()]
+        assert names == ["hi", "mid", "lo"]
+
+    def test_higher_priority_tasks(self, three_task_set):
+        higher = [t.name for t in three_task_set.higher_priority_tasks("lo")]
+        assert higher == ["hi", "mid"]
+        assert three_task_set.higher_priority_tasks("hi") == []
+
+    def test_priority_of_unknown_rejected(self, two_task_set):
+        with pytest.raises(InvalidTaskSetError):
+            two_task_set.priority_of("nope")
+
+
+class TestDerived:
+    def test_hyperperiod(self, three_task_set):
+        assert three_task_set.hyperperiod == pytest.approx(40)
+
+    def test_hyperperiod_fractional_periods(self):
+        taskset = TaskSet([Task("a", period=2.5, wcec=1), Task("b", period=4.0, wcec=1)])
+        assert taskset.hyperperiod == pytest.approx(20.0)
+
+    def test_utilization(self, two_task_set):
+        assert two_task_set.utilization(1000.0) == pytest.approx(0.7)
+        assert two_task_set.average_utilization(1000.0) == pytest.approx(0.37)
+
+    def test_totals_per_hyperperiod(self, two_task_set):
+        # Hyperperiod 20: task A runs twice, task B once.
+        assert two_task_set.total_wcec_per_hyperperiod() == pytest.approx(2 * 3000 + 8000)
+        assert two_task_set.total_acec_per_hyperperiod() == pytest.approx(2 * 1500 + 4400)
+
+
+class TestInstances:
+    def test_instances_cover_hyperperiod(self, two_task_set):
+        instances = two_task_set.instances()
+        keys = [i.key for i in instances]
+        assert keys == ["A[0]", "B[0]", "A[1]"]
+
+    def test_instances_custom_horizon(self, two_task_set):
+        instances = two_task_set.instances(40)
+        assert len(instances) == 4 + 2
+
+    def test_instances_bad_horizon(self, two_task_set):
+        with pytest.raises(InvalidTaskSetError):
+            two_task_set.instances(0)
+
+    def test_instances_sorted_by_release_then_priority(self, three_task_set):
+        instances = three_task_set.instances()
+        releases = [i.release for i in instances]
+        assert releases == sorted(releases)
+        first_three = [i.task.name for i in instances[:3]]
+        assert first_three == ["hi", "mid", "lo"]
+
+
+class TestTransformations:
+    def test_with_bcec_ratio(self, two_task_set):
+        scaled = two_task_set.with_bcec_ratio(0.1)
+        for task in scaled:
+            assert task.bcec == pytest.approx(0.1 * task.wcec)
+            assert task.acec == pytest.approx(0.55 * task.wcec)
+
+    def test_scaled_to_utilization(self, two_task_set):
+        scaled = two_task_set.scaled_to_utilization(0.35, fmax=1000.0)
+        assert scaled.utilization(1000.0) == pytest.approx(0.35)
+        # Relative WCEC weights preserved.
+        assert scaled["A"].wcec / scaled["B"].wcec == pytest.approx(3000 / 8000)
+
+    def test_scaled_to_utilization_rejects_nonpositive(self, two_task_set):
+        with pytest.raises(InvalidTaskSetError):
+            two_task_set.scaled_to_utilization(0.0, fmax=1000.0)
+
+    def test_renamed(self, two_task_set):
+        assert two_task_set.renamed("other").name == "other"
+
+    def test_describe_mentions_every_task(self, three_task_set):
+        text = three_task_set.describe()
+        for task in three_task_set:
+            assert task.name in text

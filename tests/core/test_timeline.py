@@ -1,0 +1,82 @@
+"""Unit tests for the Timeline / ExecutionSegment trace structures."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.core.timeline import ExecutionSegment, Timeline
+
+
+def make_segment(start=0.0, end=1.0, frequency=100.0, voltage=2.0, task="t", job=0, sub=0):
+    cycles = frequency * (end - start)
+    energy = cycles * voltage * voltage
+    return ExecutionSegment(task_name=task, job_index=job, sub_index=sub,
+                            start=start, end=end, frequency=frequency,
+                            voltage=voltage, cycles=cycles, energy=energy)
+
+
+class TestExecutionSegment:
+    def test_duration_and_key(self):
+        segment = make_segment(1.0, 3.0, task="a", job=2, sub=1)
+        assert segment.duration == pytest.approx(2.0)
+        assert segment.key == "a[2].1"
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(SimulationError):
+            ExecutionSegment("t", 0, 0, start=2.0, end=1.0, frequency=1, voltage=1,
+                             cycles=1, energy=1)
+
+    def test_negative_quantities_rejected(self):
+        with pytest.raises(SimulationError):
+            ExecutionSegment("t", 0, 0, start=0, end=1, frequency=-1, voltage=1,
+                             cycles=1, energy=1)
+
+
+class TestTimeline:
+    def test_aggregates(self):
+        timeline = Timeline()
+        timeline.append(make_segment(0, 1, frequency=100, voltage=2, task="a"))
+        timeline.append(make_segment(1, 3, frequency=50, voltage=1, task="b"))
+        assert len(timeline) == 2
+        assert timeline.total_busy_time == pytest.approx(3.0)
+        assert timeline.total_cycles == pytest.approx(100 + 100)
+        assert timeline.total_energy == pytest.approx(100 * 4 + 100 * 1)
+        assert timeline.makespan == pytest.approx(3.0)
+        assert timeline.energy_by_task() == {"a": pytest.approx(400.0), "b": pytest.approx(100.0)}
+        assert timeline.busy_time_by_task() == {"a": pytest.approx(1.0), "b": pytest.approx(2.0)}
+
+    def test_empty_timeline(self):
+        timeline = Timeline()
+        assert timeline.total_energy == 0
+        assert timeline.makespan == 0
+        assert timeline.finish_time_of("a", 0) is None
+
+    def test_segments_for_and_finish_time(self):
+        timeline = Timeline()
+        timeline.append(make_segment(0, 1, task="a", job=0))
+        timeline.append(make_segment(2, 3, task="a", job=0))
+        timeline.append(make_segment(1, 2, task="a", job=1))
+        assert len(timeline.segments_for("a")) == 3
+        assert len(timeline.segments_for("a", 0)) == 2
+        assert timeline.finish_time_of("a", 0) == pytest.approx(3.0)
+
+    def test_validate_accepts_consistent_trace(self):
+        timeline = Timeline([make_segment(0, 1), make_segment(1, 2)])
+        timeline.validate()
+
+    def test_validate_rejects_overlap(self):
+        timeline = Timeline([make_segment(0, 2), make_segment(1, 3)])
+        with pytest.raises(SimulationError):
+            timeline.validate()
+
+    def test_validate_rejects_inconsistent_cycles(self):
+        bad = ExecutionSegment("t", 0, 0, start=0, end=1, frequency=100, voltage=1,
+                               cycles=5.0, energy=5.0)
+        with pytest.raises(SimulationError):
+            Timeline([bad]).validate()
+
+    def test_sorted_by_time(self):
+        timeline = Timeline([make_segment(2, 3), make_segment(0, 1)])
+        ordered = timeline.sorted_by_time()
+        assert [s.start for s in ordered] == [0, 2]
+        # Original untouched.
+        assert [s.start for s in timeline] == [2, 0]

@@ -1,0 +1,66 @@
+"""Tests for the rational/table utilities."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.rational import almost_equal, fraction_lcm, lcm_of_values, to_fraction
+from repro.utils.tables import format_csv, format_markdown_table
+
+
+class TestRational:
+    def test_lcm_integers(self):
+        assert lcm_of_values([10, 20, 25]) == pytest.approx(100)
+
+    def test_lcm_fractions(self):
+        assert lcm_of_values([2.5, 4.0]) == pytest.approx(20.0)
+
+    def test_lcm_single_value(self):
+        assert lcm_of_values([7.0]) == pytest.approx(7.0)
+
+    def test_lcm_empty_rejected(self):
+        with pytest.raises(ValueError):
+            lcm_of_values([])
+
+    def test_to_fraction_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            to_fraction(0.0)
+
+    def test_fraction_lcm(self):
+        from fractions import Fraction
+        assert fraction_lcm(Fraction(3, 2), Fraction(5, 4)) == Fraction(15, 2)
+
+    def test_almost_equal(self):
+        assert almost_equal(1.0, 1.0 + 1e-12)
+        assert not almost_equal(1.0, 1.1)
+
+    @given(st.lists(st.integers(min_value=1, max_value=200), min_size=1, max_size=6))
+    @settings(max_examples=100, deadline=None)
+    def test_property_lcm_divisible_by_every_period(self, periods):
+        lcm = lcm_of_values([float(p) for p in periods])
+        for period in periods:
+            ratio = lcm / period
+            assert abs(ratio - round(ratio)) < 1e-9
+
+
+class TestTables:
+    def test_markdown_table_structure(self):
+        text = format_markdown_table(["a", "b"], [[1, 2.5], ["x", 3]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("| a")
+        assert set(lines[1].replace("|", "").strip()) <= {"-", " "}
+
+    def test_markdown_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_markdown_table(["a", "b"], [[1]])
+
+    def test_markdown_table_bool_rendering(self):
+        text = format_markdown_table(["flag"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_csv(self):
+        text = format_csv(["a", "b"], [[1, 2.0], [3, 4.5]])
+        assert text.splitlines()[0] == "a,b"
+        assert text.splitlines()[1] == "1,2"
+        assert "4.5" in text

@@ -1,0 +1,102 @@
+"""Unit and property-based tests for the sequential-fill workload rule."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import WorkloadError
+from repro.core.workload import (
+    case_labels,
+    fill_average_workloads,
+    proportional_split,
+    split_evenly,
+)
+
+
+class TestFillAverageWorkloads:
+    def test_paper_example(self):
+        """The example of Section 3.2: WCEC 30 split as 10/10/10, ACEC 15 → 10/5/0."""
+        assert fill_average_workloads([10, 10, 10], 15) == pytest.approx([10, 5, 0])
+
+    def test_exact_fit(self):
+        assert fill_average_workloads([10, 10], 20) == pytest.approx([10, 10])
+
+    def test_zero_actual(self):
+        assert fill_average_workloads([10, 10], 0) == pytest.approx([0, 0])
+
+    def test_single_budget(self):
+        assert fill_average_workloads([30], 12) == pytest.approx([12])
+
+    def test_exceeding_total_rejected(self):
+        with pytest.raises(WorkloadError):
+            fill_average_workloads([10, 10], 25)
+
+    def test_negative_rejected(self):
+        with pytest.raises(WorkloadError):
+            fill_average_workloads([10, -1], 5)
+        with pytest.raises(WorkloadError):
+            fill_average_workloads([10, 10], -5)
+
+    @given(
+        budgets=st.lists(st.floats(min_value=0, max_value=1e5, allow_nan=False), min_size=1, max_size=20),
+        fraction=st.floats(min_value=0, max_value=1),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_property_conserves_and_bounds(self, budgets, fraction):
+        """Σ filled == actual, 0 ≤ filled_k ≤ budget_k, and the fill is prefix-greedy."""
+        actual = fraction * sum(budgets)
+        filled = fill_average_workloads(budgets, actual)
+        assert sum(filled) == pytest.approx(actual, abs=1e-6)
+        for value, budget in zip(filled, budgets):
+            assert -1e-9 <= value <= budget + 1e-9
+        # Prefix-greedy: once a sub-instance is not filled to its budget, all
+        # later ones are zero.
+        saw_partial = False
+        for value, budget in zip(filled, budgets):
+            if saw_partial:
+                assert value == pytest.approx(0.0, abs=1e-9)
+            if value < budget - 1e-9:
+                saw_partial = True
+
+
+class TestCaseLabels:
+    def test_paper_example(self):
+        assert case_labels([10, 10, 10], 15) == [1, 2, 2]
+
+    def test_all_case_one_when_acec_equals_wcec(self):
+        assert case_labels([5, 5], 10) == [1, 1]
+
+    def test_all_case_two_when_acec_zero(self):
+        assert case_labels([5, 5], 0) == [2, 2]
+
+
+class TestSplits:
+    def test_split_evenly(self):
+        assert split_evenly(9, 3) == pytest.approx([3, 3, 3])
+
+    def test_split_evenly_invalid(self):
+        with pytest.raises(WorkloadError):
+            split_evenly(9, 0)
+        with pytest.raises(WorkloadError):
+            split_evenly(-1, 3)
+
+    def test_proportional_split(self):
+        assert proportional_split(10, [1, 3]) == pytest.approx([2.5, 7.5])
+
+    def test_proportional_split_zero_weights_falls_back_to_even(self):
+        assert proportional_split(10, [0, 0]) == pytest.approx([5, 5])
+
+    def test_proportional_split_invalid(self):
+        with pytest.raises(WorkloadError):
+            proportional_split(10, [])
+        with pytest.raises(WorkloadError):
+            proportional_split(10, [1, -1])
+
+    @given(
+        total=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+        weights=st.lists(st.floats(min_value=0, max_value=1e3), min_size=1, max_size=10),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_proportional_split_conserves_total(self, total, weights):
+        parts = proportional_split(total, weights)
+        assert sum(parts) == pytest.approx(total, rel=1e-9, abs=1e-6)

@@ -1,0 +1,131 @@
+"""End-to-end integration tests across the full pipeline.
+
+These tests exercise the complete flow the paper describes — expansion →
+offline NLP → online simulation — on several task sets and check the headline
+claims: ACS never misses a deadline, reduces runtime energy relative to WCS
+when workloads vary, and the gain shrinks as the BCEC/WCEC ratio approaches 1.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ACSScheduler,
+    DVSSimulator,
+    NormalWorkload,
+    SimulationConfig,
+    Task,
+    TaskSet,
+    WCSScheduler,
+    ideal_processor,
+    improvement_percent,
+)
+from repro.offline.evaluation import average_case_energy, evaluate_schedule
+from repro.workloads.distributions import FixedWorkload
+from repro.workloads.random_tasksets import RandomTaskSetConfig, generate_random_taskset
+
+
+@pytest.fixture(scope="module")
+def processor():
+    return ideal_processor(fmax=1000.0)
+
+
+def simulate(schedule, processor, workload, n_hyperperiods=30, seed=0):
+    simulator = DVSSimulator(processor, config=SimulationConfig(n_hyperperiods=n_hyperperiods))
+    return simulator.run(schedule, workload, np.random.default_rng(seed))
+
+
+class TestHeadlineClaim:
+    def test_acs_beats_wcs_on_variable_workloads(self, processor):
+        taskset = TaskSet([
+            Task("A", period=10, wcec=3000, acec=1650, bcec=300),
+            Task("B", period=20, wcec=8000, acec=4400, bcec=800),
+            Task("C", period=40, wcec=4000, acec=2200, bcec=400),
+        ])
+        acs = ACSScheduler(processor).schedule(taskset)
+        wcs = WCSScheduler(processor).schedule(taskset)
+        workload = NormalWorkload()
+        acs_result = simulate(acs, processor, workload)
+        wcs_result = simulate(wcs, processor, workload)
+        assert acs_result.met_all_deadlines and wcs_result.met_all_deadlines
+        improvement = improvement_percent(wcs_result.mean_energy_per_hyperperiod,
+                                          acs_result.mean_energy_per_hyperperiod)
+        assert improvement > 10.0
+
+    def test_gain_shrinks_as_ratio_approaches_one(self, processor):
+        """The paper's main trend: BCEC/WCEC → 1 leaves no variation to exploit."""
+        improvements = {}
+        for ratio in (0.1, 0.9):
+            taskset = TaskSet([
+                Task("A", period=10, wcec=3000),
+                Task("B", period=20, wcec=8000),
+            ]).with_bcec_ratio(ratio)
+            acs = ACSScheduler(processor).schedule(taskset)
+            wcs = WCSScheduler(processor).schedule(taskset)
+            workload = NormalWorkload()
+            acs_result = simulate(acs, processor, workload, seed=3)
+            wcs_result = simulate(wcs, processor, workload, seed=3)
+            improvements[ratio] = improvement_percent(
+                wcs_result.mean_energy_per_hyperperiod, acs_result.mean_energy_per_hyperperiod)
+        assert improvements[0.1] > improvements[0.9] - 1.0
+        assert improvements[0.1] > 5.0
+
+    def test_random_tasksets_never_miss_deadlines(self, processor):
+        """Worst-case guarantee holds on randomly generated task sets."""
+        rng = np.random.default_rng(11)
+        config = RandomTaskSetConfig(n_tasks=4, bcec_wcec_ratio=0.1)
+        for index in range(2):
+            taskset = generate_random_taskset(config, processor, rng, index)
+            acs = ACSScheduler(processor).schedule(taskset)
+            result = simulate(acs, processor, FixedWorkload(mode="wcec"), n_hyperperiods=2)
+            assert result.met_all_deadlines
+            result = simulate(acs, processor, NormalWorkload(), n_hyperperiods=20, seed=index)
+            assert result.met_all_deadlines
+
+
+class TestSimulatorVsAnalytic:
+    def test_average_case_energy_agrees(self, processor, two_task_set=None):
+        """The analytic evaluator (the NLP objective) and the event simulator must agree
+        when every job takes exactly its ACEC."""
+        taskset = TaskSet([
+            Task("A", period=10, wcec=3000, acec=1500, bcec=600),
+            Task("B", period=20, wcec=8000, acec=4400, bcec=800),
+        ])
+        for scheduler in (ACSScheduler(processor), WCSScheduler(processor)):
+            schedule = scheduler.schedule(taskset)
+            analytic = average_case_energy(schedule, processor)
+            simulated = simulate(schedule, processor, FixedWorkload(mode="acec"),
+                                 n_hyperperiods=1).total_energy
+            assert simulated == pytest.approx(analytic, rel=1e-6)
+
+    def test_worst_case_energy_agrees(self, processor):
+        taskset = TaskSet([
+            Task("hi", period=10, wcec=2000, acec=1000, bcec=400),
+            Task("mid", period=20, wcec=5000, acec=2500, bcec=1000),
+            Task("lo", period=40, wcec=12000, acec=6000, bcec=2400),
+        ])
+        schedule = ACSScheduler(processor).schedule(taskset)
+        actual = {i.key: i.wcec for i in schedule.expansion.instances}
+        analytic = evaluate_schedule(schedule, processor, actual).energy
+        simulated = simulate(schedule, processor, FixedWorkload(mode="wcec"),
+                             n_hyperperiods=1).total_energy
+        assert simulated == pytest.approx(analytic, rel=1e-6)
+
+
+class TestCmosProcessorPipeline:
+    def test_full_pipeline_with_cmos_delay_law(self):
+        """The whole flow also works with the non-linear delay law."""
+        from repro import cmos_processor
+        processor = cmos_processor(fmax=1000.0)
+        taskset = TaskSet([
+            Task("A", period=10, wcec=3000, acec=1500, bcec=600),
+            Task("B", period=20, wcec=8000, acec=4400, bcec=800),
+        ])
+        acs = ACSScheduler(processor).schedule(taskset)
+        wcs = WCSScheduler(processor).schedule(taskset)
+        acs.validate(processor)
+        workload = NormalWorkload()
+        acs_result = simulate(acs, processor, workload, n_hyperperiods=20, seed=5)
+        wcs_result = simulate(wcs, processor, workload, n_hyperperiods=20, seed=5)
+        assert acs_result.met_all_deadlines
+        assert acs_result.mean_energy_per_hyperperiod <= wcs_result.mean_energy_per_hyperperiod * 1.02

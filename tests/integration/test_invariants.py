@@ -1,0 +1,83 @@
+"""Property-based invariants across the offline/online pipeline.
+
+Hypothesis generates small random task sets; for each we check the invariants
+that must hold for *any* input:
+
+* the ACS and WCS schedules are structurally valid (budgets conserved, slots
+  respected, worst-case chain feasible);
+* simulating the worst case never misses a deadline;
+* the simulated energy is reproducible and strictly positive;
+* ACS never does worse than WCS on the average-case analytic objective (it is
+  seeded from the WCS solution, so this must hold by construction).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.task import Task
+from repro.core.taskset import TaskSet
+from repro.offline.acs import ACSScheduler
+from repro.offline.evaluation import average_case_energy
+from repro.offline.nlp import SolverOptions
+from repro.offline.wcs import WCSScheduler
+from repro.power.presets import ideal_processor
+from repro.runtime.simulator import DVSSimulator, SimulationConfig
+from repro.workloads.distributions import FixedWorkload, NormalWorkload
+
+PROCESSOR = ideal_processor(fmax=1000.0)
+FAST_OPTIONS = SolverOptions(maxiter=40)
+
+
+@st.composite
+def small_tasksets(draw):
+    """2–3 tasks, divisor-friendly periods, utilisation ≤ 0.85, varied BCEC/WCEC ratios."""
+    n_tasks = draw(st.integers(min_value=2, max_value=3))
+    periods = draw(st.lists(st.sampled_from([10.0, 20.0, 40.0]), min_size=n_tasks, max_size=n_tasks))
+    shares = draw(st.lists(st.floats(min_value=0.05, max_value=1.0), min_size=n_tasks, max_size=n_tasks))
+    ratio = draw(st.sampled_from([0.1, 0.5, 0.9]))
+    utilization = draw(st.floats(min_value=0.3, max_value=0.85))
+    total_share = sum(shares)
+    tasks = []
+    for index, (period, share) in enumerate(zip(periods, shares)):
+        task_utilization = utilization * share / total_share
+        wcec = max(task_utilization * period * PROCESSOR.fmax, 1.0)
+        tasks.append(Task(f"t{index}", period=period, wcec=wcec).scaled(bcec_ratio=ratio))
+    return TaskSet(tasks, name="hypothesis")
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(taskset=small_tasksets())
+def test_schedules_valid_and_worst_case_safe(taskset):
+    acs = ACSScheduler(PROCESSOR, options=FAST_OPTIONS).schedule(taskset)
+    wcs = WCSScheduler(PROCESSOR, options=FAST_OPTIONS).schedule(taskset)
+    for schedule in (acs, wcs):
+        schedule.validate(PROCESSOR)
+        for instance in schedule.expansion.instances:
+            entries = schedule.entries_for_instance(instance)
+            assert sum(e.wc_budget for e in entries) == pytest.approx(instance.wcec, rel=1e-6)
+            assert sum(e.avg_budget for e in entries) == pytest.approx(
+                min(instance.acec, instance.wcec), rel=1e-6)
+        simulator = DVSSimulator(PROCESSOR, config=SimulationConfig(n_hyperperiods=2))
+        result = simulator.run(schedule, FixedWorkload(mode="wcec"))
+        assert result.met_all_deadlines
+        assert result.total_energy > 0
+    # ACS is warm-started from WCS, so its analytic average-case energy can never be worse.
+    assert average_case_energy(acs, PROCESSOR) <= average_case_energy(wcs, PROCESSOR) * (1 + 1e-6)
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(taskset=small_tasksets(), seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_simulation_reproducible_and_miss_free_on_random_workloads(taskset, seed):
+    schedule = ACSScheduler(PROCESSOR, options=FAST_OPTIONS).schedule(taskset)
+    config = SimulationConfig(n_hyperperiods=5)
+    first = DVSSimulator(PROCESSOR, config=config).run(
+        schedule, NormalWorkload(), np.random.default_rng(seed))
+    second = DVSSimulator(PROCESSOR, config=config).run(
+        schedule, NormalWorkload(), np.random.default_rng(seed))
+    assert first.total_energy == pytest.approx(second.total_energy)
+    assert first.met_all_deadlines
+    # Energy is bounded below by running every executed cycle at vmin and above by vmax.
+    executed = sum(first.energy_by_task.values())
+    assert executed == pytest.approx(first.total_energy)

@@ -1,0 +1,47 @@
+"""Tests for the MaxSpeed and ConstantSpeed baseline schedulers."""
+
+import pytest
+
+from repro.core.errors import InfeasibleTaskSetError
+from repro.core.task import Task
+from repro.core.taskset import TaskSet
+from repro.offline.baselines import ConstantSpeedScheduler, MaxSpeedScheduler
+from repro.offline.evaluation import worst_case_energy
+
+
+class TestMaxSpeedScheduler:
+    def test_valid_schedule(self, three_task_set, processor):
+        schedule = MaxSpeedScheduler(processor).schedule(three_task_set)
+        schedule.validate(processor)
+        assert schedule.method == "max_speed"
+        assert schedule.metadata["frequency"] == processor.fmax
+
+    def test_energy_is_the_ceiling(self, two_task_set, processor):
+        """Packing at fmax runs every cycle at vmax: the most expensive feasible schedule."""
+        schedule = MaxSpeedScheduler(processor).schedule(two_task_set)
+        cycles = two_task_set.total_wcec_per_hyperperiod()
+        assert worst_case_energy(schedule, processor) == pytest.approx(
+            cycles * processor.vmax ** 2, rel=1e-6)
+
+
+class TestConstantSpeedScheduler:
+    def test_uses_breakdown_frequency(self, two_task_set, processor):
+        schedule = ConstantSpeedScheduler(processor).schedule(two_task_set)
+        schedule.validate(processor)
+        assert schedule.metadata["frequency"] < processor.fmax
+        assert schedule.method == "constant_speed"
+
+    def test_cheaper_than_max_speed(self, two_task_set, processor):
+        constant = ConstantSpeedScheduler(processor).schedule(two_task_set)
+        packed = MaxSpeedScheduler(processor).schedule(two_task_set)
+        assert worst_case_energy(constant, processor) < worst_case_energy(packed, processor)
+
+    def test_explicit_frequency(self, two_task_set, processor):
+        schedule = ConstantSpeedScheduler(processor, frequency=0.9 * processor.fmax).schedule(two_task_set)
+        schedule.validate(processor)
+        assert schedule.metadata["frequency"] == pytest.approx(0.9 * processor.fmax)
+
+    def test_infeasible_taskset_rejected(self, processor):
+        overloaded = TaskSet([Task("a", period=10, wcec=10_500), Task("b", period=20, wcec=1000)])
+        with pytest.raises(InfeasibleTaskSetError):
+            ConstantSpeedScheduler(processor).schedule(overloaded)

@@ -1,0 +1,72 @@
+"""Tests for the constructive (worst-case simulation) schedule vectors."""
+
+import pytest
+
+from repro.analysis.preemption import expand_fully_preemptive
+from repro.analysis.response_time import breakdown_frequency
+from repro.core.errors import SchedulingError
+from repro.core.task import Task
+from repro.core.taskset import TaskSet
+from repro.offline.initialization import (
+    proportional_budget_vectors,
+    worst_case_simulation_vectors,
+)
+from repro.offline.schedule import StaticSchedule
+
+
+class TestWorstCaseSimulationVectors:
+    def test_produces_valid_schedule_at_fmax(self, three_task_set, processor):
+        expansion = expand_fully_preemptive(three_task_set)
+        end_times, budgets = worst_case_simulation_vectors(expansion, processor)
+        schedule = StaticSchedule.from_vectors(expansion, end_times, budgets, method="fmax")
+        schedule.validate(processor)
+
+    def test_budgets_sum_to_wcec(self, three_task_set, processor):
+        expansion = expand_fully_preemptive(three_task_set)
+        _, budgets = worst_case_simulation_vectors(expansion, processor)
+        for instance in expansion.instances:
+            indices = [s.order for s in expansion.sub_instances_of(instance)]
+            assert sum(budgets[i] for i in indices) == pytest.approx(instance.wcec)
+
+    def test_two_task_example_values(self, two_task_set, processor):
+        """At fmax=1000: A[0] runs [0,3], B[0] runs [3,10] (7000 cycles) and [10+3,14] (1000),
+        A[1] runs [10,13]."""
+        expansion = expand_fully_preemptive(two_task_set)
+        end_times, budgets = worst_case_simulation_vectors(expansion, processor)
+        by_key = {sub.key: (end_times[i], budgets[i]) for i, sub in enumerate(expansion.sub_instances)}
+        assert by_key["A[0].0"] == (pytest.approx(3.0), pytest.approx(3000.0))
+        assert by_key["B[0].0"] == (pytest.approx(10.0), pytest.approx(7000.0))
+        assert by_key["A[1].0"] == (pytest.approx(13.0), pytest.approx(3000.0))
+        assert by_key["B[0].1"] == (pytest.approx(14.0), pytest.approx(1000.0))
+
+    def test_breakdown_frequency_also_feasible(self, two_task_set, processor):
+        expansion = expand_fully_preemptive(two_task_set)
+        frequency = breakdown_frequency(two_task_set, processor)
+        end_times, budgets = worst_case_simulation_vectors(expansion, processor, frequency)
+        schedule = StaticSchedule.from_vectors(expansion, end_times, budgets)
+        schedule.validate(processor)
+
+    def test_too_slow_frequency_rejected(self, two_task_set, processor):
+        expansion = expand_fully_preemptive(two_task_set)
+        with pytest.raises(SchedulingError):
+            worst_case_simulation_vectors(expansion, processor, 0.3 * processor.fmax)
+
+    def test_nonpositive_frequency_rejected(self, two_task_set, processor):
+        expansion = expand_fully_preemptive(two_task_set)
+        with pytest.raises(SchedulingError):
+            worst_case_simulation_vectors(expansion, processor, 0.0)
+
+
+class TestProportionalBudgetVectors:
+    def test_budgets_sum_to_wcec(self, three_task_set, processor):
+        expansion = expand_fully_preemptive(three_task_set)
+        _, budgets = proportional_budget_vectors(expansion, processor)
+        for instance in expansion.instances:
+            indices = [s.order for s in expansion.sub_instances_of(instance)]
+            assert sum(budgets[i] for i in indices) == pytest.approx(instance.wcec)
+
+    def test_end_times_within_slots_or_later_chain(self, three_task_set, processor):
+        expansion = expand_fully_preemptive(three_task_set)
+        end_times, budgets = proportional_budget_vectors(expansion, processor)
+        for sub, end, budget in zip(expansion.sub_instances, end_times, budgets):
+            assert end >= sub.slot_start + budget / processor.fmax - 1e-9

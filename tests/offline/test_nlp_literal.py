@@ -1,0 +1,51 @@
+"""Cross-checks between the literal Section 3.2 formulation and the reduced one."""
+
+import pytest
+
+from repro.core.task import Task
+from repro.offline.evaluation import average_case_energy
+from repro.offline.nlp import SolverOptions
+from repro.offline.nlp_literal import LiteralNLPScheduler
+from repro.offline.nonpreemptive import frame_based_taskset
+from repro.offline.wcs import WCSScheduler
+
+
+@pytest.fixture
+def small_frame():
+    """Three-task non-preemptive frame (small enough for the 6-variables-per-sub-instance NLP)."""
+    tasks = [
+        Task(f"T{i}", period=20, wcec=6000, acec=2400, bcec=1200)
+        for i in range(1, 4)
+    ]
+    return frame_based_taskset(tasks, 20.0)
+
+
+class TestLiteralFormulation:
+    def test_produces_valid_schedule(self, small_frame, processor):
+        schedule = LiteralNLPScheduler(processor).schedule(small_frame)
+        schedule.validate(processor)
+        assert schedule.method == "acs_literal"
+
+    def test_not_worse_than_wcs_in_average_case(self, small_frame, processor):
+        literal = LiteralNLPScheduler(processor).schedule(small_frame)
+        wcs = WCSScheduler(processor).schedule(small_frame)
+        assert average_case_energy(literal, processor) <= average_case_energy(wcs, processor) * 1.05
+
+    def test_close_to_reduced_formulation(self, small_frame, processor):
+        """Both formulations model the same problem; their average-case energies should agree
+        within a loose tolerance (different parameterisations, same optimum region)."""
+        from repro.offline.acs import ACSScheduler
+        literal = LiteralNLPScheduler(processor).schedule(small_frame)
+        reduced = ACSScheduler(processor).schedule(small_frame)
+        literal_energy = average_case_energy(literal, processor)
+        reduced_energy = average_case_energy(reduced, processor)
+        # The literal formulation is non-convex and SLSQP may stop at a slightly
+        # worse local point; require agreement within 30 %.
+        assert literal_energy == pytest.approx(reduced_energy, rel=0.30)
+
+    def test_preemptive_small_set(self, two_task_set, processor):
+        schedule = LiteralNLPScheduler(processor, options=SolverOptions(maxiter=80)).schedule(two_task_set)
+        schedule.validate(processor)
+        for instance in schedule.expansion.instances:
+            entries = schedule.entries_for_instance(instance)
+            assert sum(e.wc_budget for e in entries) == pytest.approx(instance.wcec, rel=1e-6)

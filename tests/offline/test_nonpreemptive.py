@@ -1,0 +1,67 @@
+"""Tests for the non-preemptive frame helper (motivational example substrate)."""
+
+import pytest
+
+from repro.analysis.preemption import expand_fully_preemptive
+from repro.core.errors import InvalidTaskSetError
+from repro.core.task import Task
+from repro.offline.nonpreemptive import explicit_order_policy, frame_based_taskset
+
+
+def _tasks():
+    return [
+        Task("alpha", period=99, wcec=100, acec=50, bcec=10),
+        Task("beta", period=7, wcec=200, acec=60, bcec=20),
+        Task("gamma", period=42, wcec=300, acec=70, bcec=30),
+    ]
+
+
+class TestFrameBasedTaskset:
+    def test_periods_and_deadlines_overridden(self):
+        taskset = frame_based_taskset(_tasks(), 50.0)
+        for task in taskset:
+            assert task.period == 50.0
+            assert task.deadline == 50.0
+            assert task.phase == 0.0
+        assert taskset.hyperperiod == pytest.approx(50.0)
+
+    def test_execution_order_defaults_to_given_order(self):
+        taskset = frame_based_taskset(_tasks(), 50.0)
+        assert [t.name for t in taskset.sorted_by_priority()] == ["alpha", "beta", "gamma"]
+
+    def test_custom_order(self):
+        taskset = frame_based_taskset(_tasks(), 50.0, order=["gamma", "alpha", "beta"])
+        assert [t.name for t in taskset.sorted_by_priority()] == ["gamma", "alpha", "beta"]
+
+    def test_expansion_has_single_sub_instance_per_task(self):
+        taskset = frame_based_taskset(_tasks(), 50.0)
+        expansion = expand_fully_preemptive(taskset)
+        assert len(expansion) == 3
+        assert [s.key for s in expansion.sub_instances] == ["alpha[0].0", "beta[0].0", "gamma[0].0"]
+
+    def test_wcec_acec_preserved(self):
+        taskset = frame_based_taskset(_tasks(), 50.0)
+        assert taskset["beta"].wcec == 200
+        assert taskset["beta"].acec == 60
+        assert taskset["beta"].bcec == 20
+
+    def test_invalid_frame_length_rejected(self):
+        with pytest.raises(InvalidTaskSetError):
+            frame_based_taskset(_tasks(), 0.0)
+
+
+class TestExplicitOrderPolicy:
+    def test_unknown_task_rejected(self):
+        policy = explicit_order_policy(["alpha", "ghost", "beta", "gamma"])
+        with pytest.raises(InvalidTaskSetError):
+            policy(_tasks())
+
+    def test_missing_task_rejected(self):
+        policy = explicit_order_policy(["alpha", "beta"])
+        with pytest.raises(InvalidTaskSetError):
+            policy(_tasks())
+
+    def test_order_maps_to_increasing_priorities(self):
+        policy = explicit_order_policy(["beta", "gamma", "alpha"])
+        priorities = policy(_tasks())
+        assert priorities == {"beta": 0, "gamma": 1, "alpha": 2}

@@ -1,0 +1,92 @@
+"""Tests for the StaticSchedule data structure."""
+
+import pytest
+
+from repro.analysis.preemption import expand_fully_preemptive
+from repro.core.errors import SchedulingError
+from repro.offline.schedule import StaticSchedule
+
+
+def make_schedule(taskset, processor, end_times=None, budgets=None, method="test"):
+    expansion = expand_fully_preemptive(taskset)
+    if end_times is None:
+        # Pack everything at fmax: trivially feasible reference schedule.
+        from repro.offline.initialization import worst_case_simulation_vectors
+        end_times, budgets = worst_case_simulation_vectors(expansion, processor)
+    return StaticSchedule.from_vectors(expansion, end_times, budgets, method=method), expansion
+
+
+class TestConstruction:
+    def test_from_vectors_round_trip(self, two_task_set, processor):
+        schedule, expansion = make_schedule(two_task_set, processor)
+        assert len(schedule) == len(expansion)
+        assert schedule.method == "test"
+        assert schedule.end_times() == [e.end_time for e in schedule]
+        assert schedule.wc_budgets() == [e.wc_budget for e in schedule]
+
+    def test_length_mismatch_rejected(self, two_task_set, processor):
+        expansion = expand_fully_preemptive(two_task_set)
+        with pytest.raises(SchedulingError):
+            StaticSchedule.from_vectors(expansion, [1.0], [1.0])
+
+    def test_average_budgets_follow_sequential_fill(self, two_task_set, processor):
+        schedule, expansion = make_schedule(two_task_set, processor)
+        for instance in expansion.instances:
+            entries = schedule.entries_for_instance(instance)
+            total_avg = sum(e.avg_budget for e in entries)
+            assert total_avg == pytest.approx(min(instance.acec, instance.wcec))
+            for entry in entries:
+                assert -1e-9 <= entry.avg_budget <= entry.wc_budget + 1e-9
+
+    def test_entry_lookup(self, two_task_set, processor):
+        schedule, expansion = make_schedule(two_task_set, processor)
+        first = schedule[0]
+        assert schedule.entry_by_key(first.key) is first
+        with pytest.raises(KeyError):
+            schedule.entry_by_key("nope")
+
+    def test_describe_contains_every_entry(self, two_task_set, processor):
+        schedule, _ = make_schedule(two_task_set, processor)
+        text = schedule.describe()
+        for entry in schedule:
+            assert entry.key in text
+
+
+class TestValidation:
+    def test_feasible_schedule_passes(self, two_task_set, processor):
+        schedule, _ = make_schedule(two_task_set, processor)
+        schedule.validate(processor)
+
+    def test_end_after_slot_rejected(self, two_task_set, processor):
+        schedule, expansion = make_schedule(two_task_set, processor)
+        end_times = schedule.end_times()
+        end_times[0] = expansion.sub_instances[0].slot_end + 1.0
+        bad = StaticSchedule.from_vectors(expansion, end_times, schedule.wc_budgets())
+        with pytest.raises(SchedulingError):
+            bad.validate(processor)
+
+    def test_chain_violation_rejected(self, two_task_set, processor):
+        schedule, expansion = make_schedule(two_task_set, processor)
+        end_times = schedule.end_times()
+        end_times[0] = 0.1  # not enough room for 3000 cycles at fmax=1000
+        bad = StaticSchedule.from_vectors(expansion, end_times, schedule.wc_budgets())
+        with pytest.raises(SchedulingError):
+            bad.validate(processor)
+
+    def test_budget_sum_violation_rejected(self, two_task_set, processor):
+        schedule, expansion = make_schedule(two_task_set, processor)
+        entries = list(schedule.entries)
+        # Tamper with one budget directly (bypassing from_vectors normalisation).
+        from dataclasses import replace
+        entries[0] = replace(entries[0], wc_budget=entries[0].wc_budget + 500.0)
+        bad = StaticSchedule(expansion=expansion, entries=entries)
+        with pytest.raises(SchedulingError):
+            bad.validate(processor)
+
+    def test_planned_wc_speed(self, two_task_set, processor):
+        schedule, _ = make_schedule(two_task_set, processor)
+        entry = schedule[0]
+        speed = entry.planned_wc_speed(0.0, processor)
+        assert speed == pytest.approx(min(entry.wc_budget / entry.end_time, processor.fmax))
+        # Degenerate window clamps to fmax.
+        assert entry.planned_wc_speed(entry.end_time, processor) == processor.fmax

@@ -1,0 +1,38 @@
+"""Tests for the WCS baseline scheduler."""
+
+import pytest
+
+from repro.offline.evaluation import worst_case_energy
+from repro.offline.wcs import WCSScheduler
+
+
+class TestWCS:
+    def test_two_task_uniform_slowdown_optimum(self, two_task_set, processor):
+        """With equal capacitance and the linear law, the optimal WCEC schedule is the uniform
+        slowdown: 14000 cycles over 20 ms → 700 cycles/ms everywhere."""
+        schedule = WCSScheduler(processor).schedule(two_task_set)
+        schedule.validate(processor)
+        assert not schedule.metadata["fallback"]
+        by_key = {e.key: e for e in schedule}
+        assert by_key["A[0].0"].end_time == pytest.approx(3000 / 700, rel=1e-2)
+        assert by_key["B[0].0"].end_time == pytest.approx(10.0, rel=1e-2)
+        assert by_key["A[1].0"].end_time == pytest.approx(10 + 3000 / 700, rel=1e-2)
+        assert by_key["B[0].1"].end_time == pytest.approx(20.0, rel=1e-2)
+        # Energy of the uniform-slowdown schedule: 14000 cycles at 3.5 V.
+        expected = 14000 * 3.5 ** 2
+        assert worst_case_energy(schedule, processor) == pytest.approx(expected, rel=1e-2)
+
+    def test_never_worse_than_fmax_packing(self, three_task_set, processor):
+        from repro.offline.baselines import MaxSpeedScheduler
+        wcs = WCSScheduler(processor).schedule(three_task_set)
+        packed = MaxSpeedScheduler(processor).schedule(three_task_set)
+        assert worst_case_energy(wcs, processor) <= worst_case_energy(packed, processor) + 1e-6
+
+    def test_budgets_conserved(self, three_task_set, processor):
+        schedule = WCSScheduler(processor).schedule(three_task_set)
+        for instance in schedule.expansion.instances:
+            entries = schedule.entries_for_instance(instance)
+            assert sum(e.wc_budget for e in entries) == pytest.approx(instance.wcec, rel=1e-6)
+
+    def test_name(self, processor):
+        assert WCSScheduler(processor).name == "wcs"

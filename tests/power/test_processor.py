@@ -1,0 +1,161 @@
+"""Unit and property-based tests for the ProcessorModel."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidProcessorError
+from repro.power.processor import ProcessorModel
+from repro.power.presets import cmos_processor, ideal_processor
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("kwargs", [
+        dict(vmax=0.0),
+        dict(vmin=0.0),
+        dict(vmin=5.0, vmax=5.0),
+        dict(vmin=6.0, vmax=5.0),
+        dict(fmax=0.0),
+        dict(ceff=0.0),
+        dict(law="quantum"),
+        dict(law="cmos", alpha=3.0),
+        dict(law="cmos", vth=-0.1),
+        dict(law="cmos", vth=1.0, vmin=0.9),
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        defaults = dict(vmax=5.0, vmin=0.5, fmax=1.0)
+        defaults.update(kwargs)
+        with pytest.raises(InvalidProcessorError):
+            ProcessorModel(**defaults)
+
+    def test_describe_mentions_law(self):
+        assert "linear" in ideal_processor().describe()
+        assert "cmos" in cmos_processor().describe()
+
+
+class TestLinearLaw:
+    def test_frequency_proportional_to_voltage(self, processor):
+        assert processor.frequency(5.0) == pytest.approx(1000.0)
+        assert processor.frequency(2.5) == pytest.approx(500.0)
+        assert processor.cycle_time(5.0) == pytest.approx(1e-3)
+
+    def test_voltage_for_frequency_inverse(self, processor):
+        assert processor.voltage_for_frequency(500.0) == pytest.approx(2.5)
+
+    def test_voltage_clipping(self, processor):
+        assert processor.voltage_for_frequency(2000.0) == processor.vmax
+        assert processor.voltage_for_frequency(1.0) == processor.vmin
+        assert processor.voltage_for_frequency(0.0) == processor.vmin
+
+    def test_fmin(self, processor):
+        assert processor.fmin == pytest.approx(processor.fmax * processor.vmin / processor.vmax)
+
+
+class TestCmosLaw:
+    def test_calibrated_at_vmax(self, cmos):
+        assert cmos.frequency(cmos.vmax) == pytest.approx(cmos.fmax)
+
+    def test_frequency_monotone_in_voltage(self, cmos):
+        voltages = [1.0, 1.5, 2.0, 2.5, 3.0, 3.3]
+        frequencies = [cmos.frequency(v) for v in voltages]
+        assert frequencies == sorted(frequencies)
+
+    def test_voltage_inversion_round_trip_alpha2(self, cmos):
+        for fraction in (0.2, 0.5, 0.8, 1.0):
+            frequency = cmos.fmin + fraction * (cmos.fmax - cmos.fmin)
+            voltage = cmos.voltage_for_frequency(frequency)
+            assert cmos.frequency(voltage) == pytest.approx(frequency, rel=1e-6)
+
+    def test_voltage_inversion_alpha1(self):
+        proc = ProcessorModel(vmax=3.3, vmin=1.0, fmax=100.0, vth=0.8, alpha=1.0, law="cmos")
+        frequency = 0.6 * proc.fmax
+        voltage = proc.voltage_for_frequency(frequency)
+        assert proc.frequency(voltage) == pytest.approx(frequency, rel=1e-6)
+
+    def test_voltage_inversion_fractional_alpha_bisection(self):
+        proc = ProcessorModel(vmax=3.3, vmin=1.0, fmax=100.0, vth=0.8, alpha=1.5, law="cmos")
+        frequency = 0.7 * proc.fmax
+        voltage = proc.voltage_for_frequency(frequency)
+        assert proc.frequency(voltage) == pytest.approx(frequency, rel=1e-5)
+
+
+class TestEnergy:
+    def test_energy_per_cycle(self, processor):
+        assert processor.energy_per_cycle(2.0) == pytest.approx(4.0)
+        assert processor.energy_per_cycle(2.0, ceff=0.5) == pytest.approx(2.0)
+
+    def test_energy_scales_with_cycles(self, processor):
+        assert processor.energy(100, 2.0) == pytest.approx(400.0)
+        with pytest.raises(InvalidProcessorError):
+            processor.energy(-1, 2.0)
+
+    def test_power(self, processor):
+        assert processor.power(5.0) == pytest.approx(25.0 * 1000.0)
+
+    def test_energy_for_workload_in_time_picks_lowest_voltage(self, processor):
+        # 1000 cycles in 2 ms → 500 cycles/ms → 2.5 V → 1000 · 2.5² = 6250.
+        assert processor.energy_for_workload_in_time(1000, 2.0) == pytest.approx(6250.0)
+        assert processor.energy_for_workload_in_time(0.0, 2.0) == 0.0
+        with pytest.raises(InvalidProcessorError):
+            processor.energy_for_workload_in_time(1000, 0.0)
+
+    def test_quadratic_energy_voltage_tradeoff(self, processor):
+        """Halving the speed (doubling the time) quarters the energy under the linear law."""
+        fast = processor.energy_for_workload_in_time(1000, 1.0)
+        slow = processor.energy_for_workload_in_time(1000, 2.0)
+        assert slow == pytest.approx(fast / 4.0)
+
+    def test_invalid_voltage_rejected(self, processor):
+        with pytest.raises(InvalidProcessorError):
+            processor.energy_per_cycle(0.0)
+        with pytest.raises(InvalidProcessorError):
+            processor.frequency(-1.0)
+
+
+class TestHelpers:
+    def test_clipping(self, processor):
+        assert processor.clip_frequency(1e9) == processor.fmax
+        assert processor.clip_frequency(0.0) == processor.fmin
+        assert processor.clip_voltage(10.0) == processor.vmax
+        assert processor.clip_voltage(0.1) == processor.vmin
+
+    def test_capacity_conversions(self, processor):
+        assert processor.max_cycles_in(2.0) == pytest.approx(2000.0)
+        assert processor.min_time_for(500.0) == pytest.approx(0.5)
+        with pytest.raises(InvalidProcessorError):
+            processor.max_cycles_in(-1.0)
+        with pytest.raises(InvalidProcessorError):
+            processor.min_time_for(-1.0)
+
+
+class TestPropertyBased:
+    @given(fraction=st.floats(min_value=0.0, max_value=1.2))
+    @settings(max_examples=200, deadline=None)
+    def test_linear_round_trip_within_range(self, fraction):
+        processor = ideal_processor(fmax=1000.0)
+        frequency = fraction * processor.fmax
+        voltage = processor.voltage_for_frequency(frequency)
+        assert processor.vmin <= voltage <= processor.vmax
+        # The chosen voltage always sustains the requested frequency (up to clipping at fmax).
+        assert processor.frequency(voltage) >= min(frequency, processor.fmax) - 1e-9
+
+    @given(fraction=st.floats(min_value=0.0, max_value=1.2),
+           alpha=st.sampled_from([1.0, 1.5, 2.0]))
+    @settings(max_examples=100, deadline=None)
+    def test_cmos_round_trip_within_range(self, fraction, alpha):
+        processor = ProcessorModel(vmax=3.3, vmin=1.0, fmax=500.0, vth=0.8, alpha=alpha, law="cmos")
+        frequency = fraction * processor.fmax
+        voltage = processor.voltage_for_frequency(frequency)
+        assert processor.vmin <= voltage <= processor.vmax
+        assert processor.frequency(voltage) >= min(frequency, processor.fmax) - 1e-6 * processor.fmax
+
+    @given(cycles=st.floats(min_value=1.0, max_value=1e6),
+           time_short=st.floats(min_value=0.1, max_value=100.0),
+           stretch=st.floats(min_value=1.0, max_value=10.0))
+    @settings(max_examples=100, deadline=None)
+    def test_more_time_never_costs_more_energy(self, cycles, time_short, stretch):
+        """Energy is non-increasing in the available time (convexity of the energy law)."""
+        processor = ideal_processor(fmax=1000.0)
+        tight = processor.energy_for_workload_in_time(cycles, time_short)
+        relaxed = processor.energy_for_workload_in_time(cycles, time_short * stretch)
+        assert relaxed <= tight + 1e-9 * max(1.0, tight)

@@ -1,0 +1,49 @@
+"""Tests for the voltage-transition overhead model."""
+
+import pytest
+
+from repro.core.errors import InvalidProcessorError
+from repro.power.transition import TransitionModel
+
+
+class TestTransitionModel:
+    def test_ideal_is_free(self):
+        model = TransitionModel.ideal()
+        assert model.is_free
+        assert model.transition_time(1.0, 3.0) == 0.0
+        assert model.transition_energy(1.0, 3.0) == 0.0
+
+    def test_realistic_is_not_free(self):
+        model = TransitionModel.realistic()
+        assert not model.is_free
+        assert model.transition_time(1.0, 3.0) > 0.0
+        assert model.transition_energy(1.0, 3.0) > 0.0
+
+    def test_no_cost_when_voltage_unchanged(self):
+        model = TransitionModel.realistic()
+        assert model.transition_time(2.0, 2.0) == 0.0
+        assert model.transition_energy(2.0, 2.0) == 0.0
+
+    def test_time_scales_with_voltage_difference(self):
+        model = TransitionModel(slew_rate=10.0)
+        assert model.transition_time(1.0, 2.0) == pytest.approx(0.1)
+        assert model.transition_time(2.0, 1.0) == pytest.approx(0.1)
+        assert model.transition_time(1.0, 3.0) == pytest.approx(0.2)
+
+    def test_min_time_floor(self):
+        model = TransitionModel(slew_rate=1000.0, min_time=0.05)
+        assert model.transition_time(1.0, 1.001) == pytest.approx(0.05)
+
+    def test_energy_formula(self):
+        model = TransitionModel(cdd=2.0, efficiency_loss=0.5)
+        assert model.transition_energy(1.0, 3.0) == pytest.approx(0.5 * 2.0 * (9 - 1))
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(slew_rate=0.0),
+        dict(min_time=-1.0),
+        dict(cdd=-0.1),
+        dict(efficiency_loss=1.5),
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(InvalidProcessorError):
+            TransitionModel(**kwargs)

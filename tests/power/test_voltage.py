@@ -1,0 +1,114 @@
+"""Tests for discrete voltage levels, quantisation and the two-level split."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidProcessorError
+from repro.power.presets import ideal_processor
+from repro.power.voltage import VoltageLevels, split_two_level
+
+
+class TestVoltageLevels:
+    def test_deduplicated_and_sorted(self):
+        levels = VoltageLevels([3.0, 1.0, 2.0, 2.0])
+        assert list(levels) == [1.0, 2.0, 3.0]
+        assert levels.vmin == 1.0
+        assert levels.vmax == 3.0
+        assert len(levels) == 3
+
+    def test_empty_or_nonpositive_rejected(self):
+        with pytest.raises(InvalidProcessorError):
+            VoltageLevels([])
+        with pytest.raises(InvalidProcessorError):
+            VoltageLevels([0.0, 1.0])
+
+    def test_ceiling_floor_nearest(self):
+        levels = VoltageLevels([1.0, 2.0, 3.0])
+        assert levels.ceiling(1.5) == 2.0
+        assert levels.ceiling(2.0) == 2.0
+        assert levels.ceiling(5.0) == 3.0
+        assert levels.floor(1.5) == 1.0
+        assert levels.floor(0.5) == 1.0
+        assert levels.nearest(1.4) == 1.0
+        assert levels.nearest(1.6) == 2.0
+        assert levels.nearest(1.5) == 2.0  # ties upward
+
+    def test_quantize_policies(self):
+        levels = VoltageLevels([1.0, 2.0])
+        assert levels.quantize(1.2, "ceiling") == 2.0
+        assert levels.quantize(1.2, "floor") == 1.0
+        assert levels.quantize(1.2, "nearest") == 1.0
+        with pytest.raises(InvalidProcessorError):
+            levels.quantize(1.2, "random")
+
+    def test_bracket(self):
+        levels = VoltageLevels([1.0, 2.0, 3.0])
+        assert levels.bracket(2.5) == (2.0, 3.0)
+        assert levels.bracket(0.5) == (1.0, 1.0)
+
+    def test_uniform_constructor(self):
+        levels = VoltageLevels.uniform(1.0, 3.0, 5)
+        assert list(levels) == pytest.approx([1.0, 1.5, 2.0, 2.5, 3.0])
+        assert list(VoltageLevels.uniform(1.0, 3.0, 1)) == [3.0]
+        with pytest.raises(InvalidProcessorError):
+            VoltageLevels.uniform(1.0, 3.0, 0)
+
+    @given(request=st.floats(min_value=0.5, max_value=6.0))
+    @settings(max_examples=200, deadline=None)
+    def test_property_ceiling_never_below_request_inside_range(self, request):
+        levels = VoltageLevels([1.0, 1.5, 2.5, 4.0, 5.0])
+        ceiling = levels.ceiling(request)
+        if request <= levels.vmax:
+            assert ceiling >= request - 1e-9
+        assert ceiling in set(levels)
+
+
+class TestSplitTwoLevel:
+    def test_exact_level_uses_single_pair(self):
+        processor = ideal_processor(fmax=1000.0)
+        levels = VoltageLevels([1.0, 2.5, 5.0])
+        # 500 cycles/ms → exactly 2.5 V.
+        pairs = split_two_level(processor, levels, cycles=1000.0, available_time=2.0)
+        assert len(pairs) == 1
+        assert pairs[0][0] == pytest.approx(2.5)
+        assert pairs[0][1] == pytest.approx(1000.0)
+
+    def test_split_meets_cycles_and_time(self):
+        processor = ideal_processor(fmax=1000.0)
+        levels = VoltageLevels([1.0, 5.0])
+        cycles, available = 1200.0, 2.0
+        pairs = split_two_level(processor, levels, cycles, available)
+        total_cycles = sum(c for _, c in pairs)
+        total_time = sum(c / processor.frequency(v) for v, c in pairs)
+        assert total_cycles == pytest.approx(cycles)
+        assert total_time == pytest.approx(available, rel=1e-9)
+
+    def test_lower_level_sufficient(self):
+        processor = ideal_processor(fmax=1000.0)
+        levels = VoltageLevels([2.0, 5.0])
+        # 100 cycles in 10 ms only needs 10 cycles/ms << f(2.0 V) = 400.
+        pairs = split_two_level(processor, levels, cycles=100.0, available_time=10.0)
+        assert pairs == [(2.0, 100.0)]
+
+    def test_zero_cycles(self):
+        processor = ideal_processor(fmax=1000.0)
+        levels = VoltageLevels([1.0, 5.0])
+        assert split_two_level(processor, levels, 0.0, 1.0) == []
+
+    def test_invalid_time_rejected(self):
+        processor = ideal_processor(fmax=1000.0)
+        levels = VoltageLevels([1.0, 5.0])
+        with pytest.raises(InvalidProcessorError):
+            split_two_level(processor, levels, 10.0, 0.0)
+
+    def test_split_energy_no_worse_than_ceiling(self):
+        """The Ishihara–Yasuura split never costs more than rounding the voltage up."""
+        processor = ideal_processor(fmax=1000.0)
+        levels = VoltageLevels([1.0, 2.0, 3.0, 4.0, 5.0])
+        cycles, available = 1700.0, 3.0
+        pairs = split_two_level(processor, levels, cycles, available)
+        split_energy = sum(processor.energy(c, v) for v, c in pairs)
+        ideal_voltage = processor.voltage_for_frequency(cycles / available)
+        ceiling_energy = processor.energy(cycles, levels.ceiling(ideal_voltage))
+        assert split_energy <= ceiling_energy + 1e-9

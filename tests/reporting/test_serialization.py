@@ -1,0 +1,75 @@
+"""Tests for JSON serialisation of task sets, schedules and results."""
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.offline.acs import ACSScheduler
+from repro.offline.evaluation import average_case_energy
+from repro.reporting.serialization import (
+    load_json,
+    save_json,
+    schedule_from_dict,
+    schedule_to_dict,
+    simulation_result_to_dict,
+    taskset_from_dict,
+    taskset_to_dict,
+)
+from repro.runtime.simulator import DVSSimulator, SimulationConfig
+from repro.workloads.distributions import NormalWorkload
+
+
+class TestTaskSetRoundTrip:
+    def test_round_trip_preserves_everything(self, three_task_set):
+        data = taskset_to_dict(three_task_set)
+        rebuilt = taskset_from_dict(data)
+        assert rebuilt.name == three_task_set.name
+        assert len(rebuilt) == len(three_task_set)
+        for task in three_task_set:
+            loaded = rebuilt[task.name]
+            assert loaded.period == task.period
+            assert loaded.wcec == task.wcec
+            assert loaded.acec == task.acec
+            assert loaded.bcec == task.bcec
+            assert rebuilt.priority_of(task.name) == three_task_set.priority_of(task.name)
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ReproError):
+            taskset_from_dict({"tasks": [{"name": "a", "period": 10}]})
+
+
+class TestScheduleRoundTrip:
+    def test_round_trip_preserves_schedule(self, two_task_set, processor):
+        schedule = ACSScheduler(processor).schedule(two_task_set)
+        data = schedule_to_dict(schedule)
+        rebuilt = schedule_from_dict(data)
+        rebuilt.validate(processor)
+        assert rebuilt.end_times() == pytest.approx(schedule.end_times())
+        assert rebuilt.wc_budgets() == pytest.approx(schedule.wc_budgets())
+        assert average_case_energy(rebuilt, processor) == pytest.approx(
+            average_case_energy(schedule, processor))
+
+    def test_incomplete_entries_rejected(self, two_task_set, processor):
+        schedule = ACSScheduler(processor).schedule(two_task_set)
+        data = schedule_to_dict(schedule)
+        data["entries"] = data["entries"][:-1]
+        with pytest.raises(ReproError):
+            schedule_from_dict(data)
+
+    def test_json_file_round_trip(self, two_task_set, processor, tmp_path):
+        schedule = ACSScheduler(processor).schedule(two_task_set)
+        path = save_json(schedule_to_dict(schedule), tmp_path / "schedule.json")
+        rebuilt = schedule_from_dict(load_json(path))
+        rebuilt.validate(processor)
+        assert rebuilt.method == schedule.method
+
+
+class TestSimulationResultSerialisation:
+    def test_contains_aggregates(self, two_task_set, processor):
+        schedule = ACSScheduler(processor).schedule(two_task_set)
+        result = DVSSimulator(processor, config=SimulationConfig(n_hyperperiods=3, seed=1)).run(
+            schedule, NormalWorkload())
+        data = simulation_result_to_dict(result)
+        assert data["n_hyperperiods"] == 3
+        assert data["total_energy"] == pytest.approx(result.total_energy)
+        assert data["deadline_misses"] == []
+        assert set(data["energy_by_task"]) == {"A", "B"}

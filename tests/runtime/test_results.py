@@ -1,0 +1,55 @@
+"""Tests for the simulation result records."""
+
+import pytest
+
+from repro.runtime.results import DeadlineMiss, SimulationResult, improvement_percent
+
+
+def make_result(energies, misses=0):
+    return SimulationResult(
+        method="acs",
+        policy="greedy",
+        n_hyperperiods=len(energies),
+        total_energy=sum(energies),
+        energy_per_hyperperiod=list(energies),
+        deadline_misses=[DeadlineMiss("t", 0, i, 10.0, 11.0) for i in range(misses)],
+        jobs_completed=3 * len(energies),
+    )
+
+
+class TestSimulationResult:
+    def test_mean_energy(self):
+        result = make_result([10.0, 20.0, 30.0])
+        assert result.mean_energy_per_hyperperiod == pytest.approx(20.0)
+
+    def test_empty_energy_list(self):
+        result = make_result([])
+        assert result.mean_energy_per_hyperperiod == 0.0
+
+    def test_miss_accounting(self):
+        result = make_result([1.0], misses=2)
+        assert result.miss_count == 2
+        assert not result.met_all_deadlines
+        assert make_result([1.0]).met_all_deadlines
+
+    def test_summary_contains_key_fields(self):
+        text = make_result([1.0, 2.0]).summary()
+        assert "acs" in text and "greedy" in text and "2 hyperperiods" in text
+
+
+class TestDeadlineMiss:
+    def test_lateness(self):
+        miss = DeadlineMiss("t", 1, 0, deadline=10.0, finish_time=12.5)
+        assert miss.lateness == pytest.approx(2.5)
+
+
+class TestImprovementPercent:
+    def test_reduction(self):
+        assert improvement_percent(100.0, 60.0) == pytest.approx(40.0)
+
+    def test_regression_is_negative(self):
+        assert improvement_percent(100.0, 120.0) == pytest.approx(-20.0)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            improvement_percent(0.0, 1.0)

@@ -1,0 +1,34 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    @pytest.mark.parametrize("command", ["motivation", "figure6a", "figure6b"])
+    def test_known_subcommands(self, command):
+        args = build_parser().parse_args([command])
+        assert callable(args.runner)
+
+    def test_flags(self):
+        args = build_parser().parse_args(["figure6a", "--quick", "--seed", "11"])
+        assert args.quick and args.seed == 11
+
+
+class TestMain:
+    def test_motivation_runs(self, capsys):
+        assert main(["motivation"]) == 0
+        output = capsys.readouterr().out
+        assert "average-case improvement" in output
+        assert "Fig. 2" in output
+
+    def test_figure6b_quick_runs(self, capsys):
+        assert main(["figure6b", "--quick"]) == 0
+        output = capsys.readouterr().out
+        assert "CNC" in output and "GAP" in output

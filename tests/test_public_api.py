@@ -1,0 +1,41 @@
+"""The top-level package re-exports the documented public API."""
+
+import repro
+
+
+def test_version_string():
+    assert isinstance(repro.__version__, str)
+    assert repro.__version__.count(".") == 2
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        if name == "__version__":
+            continue
+        assert hasattr(repro, name), f"missing public symbol {name}"
+
+
+def test_key_classes_exported():
+    for name in ["Task", "TaskSet", "ProcessorModel", "ACSScheduler", "WCSScheduler",
+                 "DVSSimulator", "SimulationConfig", "NormalWorkload", "StaticSchedule",
+                 "expand_fully_preemptive", "improvement_percent"]:
+        assert name in repro.__all__
+
+
+def test_quickstart_from_docstring_runs():
+    """The quickstart in the package docstring must keep working."""
+    from repro import (ACSScheduler, DVSSimulator, NormalWorkload, SimulationConfig,
+                       Task, TaskSet, WCSScheduler, ideal_processor, improvement_percent)
+
+    tasks = [Task("control", period=10, wcec=3000, acec=1500, bcec=600),
+             Task("sensing", period=20, wcec=8000, acec=4400, bcec=800)]
+    taskset = TaskSet(tasks)
+    processor = ideal_processor(fmax=1000.0)
+
+    acs = ACSScheduler(processor).schedule(taskset)
+    wcs = WCSScheduler(processor).schedule(taskset)
+
+    simulator = DVSSimulator(processor, config=SimulationConfig(n_hyperperiods=10, seed=1))
+    acs_energy = simulator.run(acs, NormalWorkload()).mean_energy_per_hyperperiod
+    wcs_energy = simulator.run(wcs, NormalWorkload()).mean_energy_per_hyperperiod
+    assert improvement_percent(wcs_energy, acs_energy) > 0

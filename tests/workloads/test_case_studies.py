@@ -1,0 +1,53 @@
+"""Tests for the CNC and GAP case-study task sets."""
+
+import pytest
+
+from repro.analysis.feasibility import check_feasibility
+from repro.workloads.cnc import CNC_TASK_PARAMETERS, cnc_taskset
+from repro.workloads.gap import GAP_TASK_PARAMETERS, gap_taskset
+
+
+class TestCNC:
+    def test_structure(self):
+        taskset = cnc_taskset()
+        assert len(taskset) == len(CNC_TASK_PARAMETERS) == 8
+        periods = {t.period for t in taskset}
+        assert periods == {2400.0, 4800.0, 9600.0}
+        assert taskset.hyperperiod == pytest.approx(9600.0)
+
+    def test_scaled_to_utilization(self, processor):
+        taskset = cnc_taskset(processor, target_utilization=0.7, bcec_wcec_ratio=0.1)
+        assert taskset.utilization(processor.fmax) == pytest.approx(0.7, rel=1e-6)
+        for task in taskset:
+            assert task.bcec_wcec_ratio == pytest.approx(0.1)
+
+    def test_feasible_at_max_speed(self, processor):
+        taskset = cnc_taskset(processor)
+        assert check_feasibility(taskset, processor).schedulable
+
+    def test_relative_weights_preserved(self, processor):
+        raw = cnc_taskset()
+        scaled = cnc_taskset(processor)
+        ratio_raw = raw["interpolator"].wcec / raw["x_axis_servo"].wcec
+        ratio_scaled = scaled["interpolator"].wcec / scaled["x_axis_servo"].wcec
+        assert ratio_scaled == pytest.approx(ratio_raw)
+
+
+class TestGAP:
+    def test_structure(self):
+        taskset = gap_taskset()
+        assert len(taskset) == len(GAP_TASK_PARAMETERS) == 17
+        assert min(t.period for t in taskset) == pytest.approx(25.0)
+        assert max(t.period for t in taskset) == pytest.approx(200.0)
+
+    def test_subset_selection(self):
+        taskset = gap_taskset(n_tasks=5)
+        assert len(taskset) == 5
+
+    def test_scaled_to_utilization(self, processor):
+        taskset = gap_taskset(processor, target_utilization=0.6, bcec_wcec_ratio=0.5)
+        assert taskset.utilization(processor.fmax) == pytest.approx(0.6, rel=1e-6)
+
+    def test_feasible_at_max_speed(self, processor):
+        taskset = gap_taskset(processor, n_tasks=8)
+        assert check_feasibility(taskset, processor).schedulable

@@ -1,0 +1,123 @@
+"""Tests for the execution-cycle distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import WorkloadError
+from repro.core.task import Task
+from repro.workloads.distributions import (
+    BimodalWorkload,
+    FixedWorkload,
+    NormalWorkload,
+    UniformWorkload,
+    get_workload_model,
+)
+
+
+@pytest.fixture
+def task():
+    return Task("t", period=10, wcec=1000, acec=550, bcec=100)
+
+
+class TestNormalWorkload:
+    def test_samples_within_bounds(self, task, rng):
+        model = NormalWorkload()
+        samples = [model.sample(rng, task) for _ in range(500)]
+        assert all(task.bcec - 1e-9 <= s <= task.wcec + 1e-9 for s in samples)
+
+    def test_mean_close_to_acec(self, task):
+        model = NormalWorkload()
+        rng = np.random.default_rng(0)
+        samples = [model.sample(rng, task) for _ in range(4000)]
+        assert np.mean(samples) == pytest.approx(task.acec, rel=0.05)
+
+    def test_degenerate_range_returns_wcec(self, rng):
+        fixed_task = Task("f", period=10, wcec=100, acec=100, bcec=100)
+        assert NormalWorkload().sample(rng, fixed_task) == 100
+
+    def test_invalid_sigma_rejected(self):
+        with pytest.raises(WorkloadError):
+            NormalWorkload(sigma_fraction=0.0)
+
+    def test_expected_is_acec(self, task):
+        assert NormalWorkload().expected(task) == task.acec
+
+
+class TestUniformWorkload:
+    def test_samples_within_bounds(self, task, rng):
+        model = UniformWorkload()
+        samples = [model.sample(rng, task) for _ in range(500)]
+        assert all(task.bcec <= s <= task.wcec for s in samples)
+
+    def test_expected_midpoint(self, task):
+        assert UniformWorkload().expected(task) == pytest.approx(550.0)
+
+
+class TestFixedWorkload:
+    @pytest.mark.parametrize("mode,expected", [("acec", 550), ("bcec", 100), ("wcec", 1000)])
+    def test_modes(self, task, rng, mode, expected):
+        model = FixedWorkload(mode=mode)
+        assert model.sample(rng, task) == expected
+        assert model.expected(task) == expected
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(WorkloadError):
+            FixedWorkload(mode="median")
+
+
+class TestBimodalWorkload:
+    def test_samples_within_bounds(self, task, rng):
+        model = BimodalWorkload(burst_probability=0.3)
+        samples = [model.sample(rng, task) for _ in range(500)]
+        assert all(task.bcec - 1e-9 <= s <= task.wcec + 1e-9 for s in samples)
+
+    def test_burst_fraction_roughly_matches(self, task):
+        model = BimodalWorkload(burst_probability=0.2, jitter_fraction=0.0)
+        rng = np.random.default_rng(0)
+        samples = [model.sample(rng, task) for _ in range(3000)]
+        burst_fraction = np.mean([s == task.wcec for s in samples])
+        assert burst_fraction == pytest.approx(0.2, abs=0.03)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(WorkloadError):
+            BimodalWorkload(burst_probability=1.5)
+        with pytest.raises(WorkloadError):
+            BimodalWorkload(jitter_fraction=-0.1)
+
+    def test_expected_between_bounds(self, task):
+        expected = BimodalWorkload(burst_probability=0.1).expected(task)
+        assert task.bcec <= expected <= task.wcec
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name,cls", [
+        ("normal", NormalWorkload), ("uniform", UniformWorkload),
+        ("fixed", FixedWorkload), ("bimodal", BimodalWorkload),
+    ])
+    def test_lookup(self, name, cls):
+        assert isinstance(get_workload_model(name), cls)
+
+    def test_kwargs_forwarded(self):
+        model = get_workload_model("fixed", mode="wcec")
+        assert model.mode == "wcec"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(WorkloadError):
+            get_workload_model("pareto")
+
+
+class TestPropertyBased:
+    @given(ratio=st.floats(min_value=0.05, max_value=1.0),
+           wcec=st.floats(min_value=10.0, max_value=1e6),
+           seed=st.integers(min_value=0, max_value=2**31 - 1),
+           model_name=st.sampled_from(["normal", "uniform", "bimodal"]))
+    @settings(max_examples=150, deadline=None)
+    def test_property_every_sample_within_bcec_wcec(self, ratio, wcec, seed, model_name):
+        task = Task("t", period=10, wcec=wcec).scaled(bcec_ratio=ratio)
+        model = get_workload_model(model_name)
+        rng = np.random.default_rng(seed)
+        for _ in range(10):
+            sample = model.sample(rng, task)
+            assert task.bcec - 1e-6 <= sample <= task.wcec + 1e-6

@@ -1,0 +1,66 @@
+"""Tests for the random task-set generator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.feasibility import check_feasibility
+from repro.core.errors import WorkloadError
+from repro.workloads.random_tasksets import (
+    RandomTaskSetConfig,
+    generate_random_taskset,
+    generate_random_tasksets,
+)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(n_tasks=0),
+        dict(target_utilization=0.0),
+        dict(target_utilization=1.5),
+        dict(bcec_wcec_ratio=0.0),
+        dict(bcec_wcec_ratio=1.2),
+        dict(periods=()),
+        dict(wcec_range=(0.0, 10.0)),
+        dict(wcec_range=(10.0, 5.0)),
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(WorkloadError):
+            RandomTaskSetConfig(**kwargs)
+
+
+class TestGeneration:
+    def test_taskset_matches_config(self, processor, rng):
+        config = RandomTaskSetConfig(n_tasks=4, target_utilization=0.7, bcec_wcec_ratio=0.1)
+        taskset = generate_random_taskset(config, processor, rng)
+        assert len(taskset) == 4
+        assert taskset.utilization(processor.fmax) == pytest.approx(0.7, rel=1e-6)
+        for task in taskset:
+            assert task.bcec_wcec_ratio == pytest.approx(0.1)
+            assert task.acec == pytest.approx(0.55 * task.wcec)
+            assert task.period in config.periods
+
+    def test_generated_sets_are_feasible(self, processor, rng):
+        config = RandomTaskSetConfig(n_tasks=6, target_utilization=0.7, bcec_wcec_ratio=0.5)
+        for _ in range(3):
+            taskset = generate_random_taskset(config, processor, rng)
+            assert check_feasibility(taskset, processor).schedulable
+
+    def test_reproducible_with_seed(self, processor):
+        config = RandomTaskSetConfig(n_tasks=3)
+        first = generate_random_tasksets(config, processor, count=2, seed=99)
+        second = generate_random_tasksets(config, processor, count=2, seed=99)
+        for a, b in zip(first, second):
+            assert [t.period for t in a] == [t.period for t in b]
+            assert [t.wcec for t in a] == pytest.approx([t.wcec for t in b])
+
+    def test_count_validation(self, processor):
+        config = RandomTaskSetConfig(n_tasks=2)
+        with pytest.raises(WorkloadError):
+            generate_random_tasksets(config, processor, count=0)
+
+    def test_impossible_configuration_raises(self, processor):
+        # Three tasks always expand to at least three sub-instances, so a cap of
+        # two can never be met and the generator must give up after its retries.
+        config = RandomTaskSetConfig(n_tasks=3, max_sub_instances=2, max_attempts=5)
+        with pytest.raises(WorkloadError):
+            generate_random_taskset(config, processor, np.random.default_rng(0))
