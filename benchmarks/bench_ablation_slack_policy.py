@@ -2,20 +2,20 @@
 
 The paper's runtime scheme combines the ACS static schedule with greedy slack
 reclamation.  This ablation runs the same two static schedules (ACS and WCS)
-under three online policies — no reclamation, greedy (the paper's), and the
-whole-job proportional variant — to separate the static from the dynamic
-contribution.  Expected shape:
+under all four online policies — no reclamation, greedy (the paper's), the
+job-horizon look-ahead, and the whole-job proportional variant — to separate
+the static from the dynamic contribution.  Expected shape:
 
 * greedy ≤ static (no reclamation) for both schedules;
-* ACS + greedy (the paper's combination) is the best deadline-safe point.
+* ACS + greedy (the paper's combination) is the best deadline-safe point;
+* lookahead/proportional may undercut greedy but without the guarantee.
 """
 
 import numpy as np
 
-from repro.experiments.harness import ComparisonConfig
 from repro.offline.acs import ACSScheduler
 from repro.offline.wcs import WCSScheduler
-from repro.runtime.dvs import get_slack_policy
+from repro.runtime.policies import get_policy
 from repro.runtime.simulator import DVSSimulator, SimulationConfig
 from repro.utils.tables import format_markdown_table
 from repro.workloads.cnc import cnc_taskset
@@ -34,10 +34,10 @@ def _run_ablation(processor):
     rows = []
     energies = {}
     for schedule_name, schedule in schedules.items():
-        for policy_name in ("static", "greedy", "proportional"):
+        for policy_name in ("static", "greedy", "lookahead", "proportional"):
             simulator = DVSSimulator(
                 processor,
-                policy=get_slack_policy(policy_name),
+                policy=get_policy(policy_name),
                 config=SimulationConfig(n_hyperperiods=N_HYPERPERIODS),
             )
             result = simulator.run(schedule, NormalWorkload(), np.random.default_rng(SEED))

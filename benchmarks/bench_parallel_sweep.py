@@ -1,0 +1,51 @@
+"""Benchmark: the batched experiment harness, serial vs process pool.
+
+Runs the same random-taskset sweep once in-process and once on a worker
+pool, asserts the two reports are byte-identical (the harness's determinism
+contract) and prints both wall-clock times.  The speedup depends on core
+count and on how evenly the NLP sizes are distributed over the workers, so
+only determinism — not a minimum speedup — is asserted.
+"""
+
+import multiprocessing
+import time
+
+from repro.experiments.sweep import SweepConfig, run_sweep
+from repro.utils.tables import format_markdown_table
+
+N_TASKSETS = 8
+SEED = 2005
+#: Divisor-friendly pool: keeps every NLP small so the benchmark finishes
+#: in seconds while still giving the pool real work to distribute.
+PERIODS = (10.0, 20.0, 40.0)
+
+
+def _sweep(jobs: int):
+    config = SweepConfig(n_tasksets=N_TASKSETS, n_tasks=3, n_hyperperiods=20,
+                         seed=SEED, jobs=jobs, periods=PERIODS)
+    started = time.perf_counter()
+    result = run_sweep(config)
+    return result, time.perf_counter() - started
+
+
+def _run_benchmark():
+    serial, serial_seconds = _sweep(jobs=1)
+    workers = max(2, min(4, multiprocessing.cpu_count()))
+    parallel, parallel_seconds = _sweep(jobs=workers)
+    return serial, parallel, serial_seconds, parallel_seconds, workers
+
+
+def test_parallel_sweep(benchmark, run_once):
+    serial, parallel, serial_seconds, parallel_seconds, workers = run_once(
+        benchmark, _run_benchmark)
+
+    print()
+    print(f"Batched sweep: {N_TASKSETS} random task sets, serial vs {workers} workers")
+    print(format_markdown_table(
+        ["mode", "wall-clock s", "mean acs improvement %"],
+        [["serial (jobs=1)", serial_seconds, serial.mean_improvement("acs")],
+         [f"parallel (jobs={workers})", parallel_seconds, parallel.mean_improvement("acs")]]))
+
+    # The determinism contract: identical reports regardless of worker count.
+    assert serial.to_markdown() == parallel.to_markdown()
+    assert serial.total_misses() == parallel.total_misses()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Check that relative Markdown links in the repo point at existing files.
+
+Used by the CI docs job:  python docs/check_links.py
+
+External links (http/https/mailto) are not fetched — CI must not depend on
+network reachability; only repo-relative targets are verified.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+SKIP_DIRS = {".git", "__pycache__", ".pytest_cache"}
+
+
+def iter_markdown(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if not SKIP_DIRS.intersection(part for part in path.parts):
+            yield path
+
+
+def check(root: Path) -> int:
+    errors = 0
+    for markdown in iter_markdown(root):
+        for target in LINK.findall(markdown.read_text(encoding="utf-8")):
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            resolved = (markdown.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                print(f"{markdown.relative_to(root)}: broken link -> {target}")
+                errors += 1
+    return errors
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    errors = check(root)
+    if errors:
+        print(f"{errors} broken link(s)")
+        return 1
+    print("all relative Markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,14 +19,18 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="tiny sample sizes for a fast demo")
     parser.add_argument("--seed", type=int, default=2005)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (any value gives identical results)")
     args = parser.parse_args()
 
     if args.quick:
         config = Figure6aConfig(task_counts=(2, 4), bcec_wcec_ratios=(0.1, 0.9),
-                                tasksets_per_point=2, hyperperiods_per_taskset=10, seed=args.seed)
+                                tasksets_per_point=2, hyperperiods_per_taskset=10,
+                                seed=args.seed, jobs=args.jobs)
     else:
         config = Figure6aConfig(task_counts=(2, 4, 6), bcec_wcec_ratios=(0.1, 0.5, 0.9),
-                                tasksets_per_point=3, hyperperiods_per_taskset=20, seed=args.seed)
+                                tasksets_per_point=3, hyperperiods_per_taskset=20,
+                                seed=args.seed, jobs=args.jobs)
 
     result = run_figure6a(config, verbose=True)
     print()

@@ -77,12 +77,17 @@ from .power import (
     normalized_processor,
 )
 from .runtime import (
+    DVSPolicy,
     DVSSimulator,
     GreedySlackPolicy,
+    LookaheadSlackPolicy,
     NoReclamationPolicy,
     ProportionalSlackPolicy,
     SimulationConfig,
     SimulationResult,
+    StaticReplayPolicy,
+    available_policies,
+    get_policy,
     improvement_percent,
 )
 from .workloads import (
@@ -139,9 +144,14 @@ __all__ = [
     "DVSSimulator",
     "SimulationConfig",
     "SimulationResult",
+    "DVSPolicy",
+    "StaticReplayPolicy",
     "GreedySlackPolicy",
+    "LookaheadSlackPolicy",
     "NoReclamationPolicy",
     "ProportionalSlackPolicy",
+    "available_policies",
+    "get_policy",
     "improvement_percent",
     # workloads
     "NormalWorkload",

@@ -4,8 +4,15 @@ Sub-commands regenerate the paper's experiments and print the corresponding
 table to standard output:
 
 * ``motivation`` — Table 1 / Figures 1–2 (the non-preemptive example);
-* ``figure6a``   — random task-set sweep;
-* ``figure6b``   — CNC and GAP case studies.
+* ``figure6a``   — random task-set sweep (supports ``--jobs N``);
+* ``figure6b``   — CNC and GAP case studies (supports ``--jobs N``);
+
+and expose the online runtime and the batched harness directly:
+
+* ``simulate``   — schedule one application and simulate it under one or more
+  online DVS policies (``--policy static|greedy|lookahead|proportional|all``);
+* ``sweep``      — configurable random-taskset sweep on a process pool
+  (``--jobs N``; any worker count produces bitwise-identical output).
 
 Use ``--full`` for the paper-scale sample sizes (slow) and ``--quick`` for a
 smoke-test-sized run.
@@ -17,9 +24,21 @@ import argparse
 import sys
 from typing import List, Optional
 
+import numpy as np
+
+from .core.errors import ExperimentError, ReproError
 from .experiments.figure6a import Figure6aConfig, run_figure6a
 from .experiments.figure6b import Figure6bConfig, run_figure6b
+from .experiments.harness import make_schedulers, scheduler_names
 from .experiments.motivation import run_motivation
+from .experiments.sweep import SweepConfig, run_sweep
+from .power.presets import ideal_processor
+from .runtime.policies import available_policies, get_policy
+from .runtime.simulator import DVSSimulator, SimulationConfig
+from .utils.tables import format_markdown_table
+from .workloads.cnc import cnc_taskset
+from .workloads.distributions import NormalWorkload
+from .workloads.gap import gap_taskset
 
 __all__ = ["main", "build_parser"]
 
@@ -38,13 +57,50 @@ def build_parser() -> argparse.ArgumentParser:
     figure6a.add_argument("--quick", action="store_true", help="tiny sample sizes (smoke test)")
     figure6a.add_argument("--full", action="store_true", help="paper-scale sample sizes (slow)")
     figure6a.add_argument("--seed", type=int, default=2005)
+    figure6a.add_argument("--jobs", type=int, default=1,
+                          help="worker processes (results identical for any value)")
     figure6a.set_defaults(runner=_run_figure6a)
 
     figure6b = subparsers.add_parser("figure6b", help="CNC and GAP case studies (Figure 6b)")
     figure6b.add_argument("--quick", action="store_true", help="tiny sample sizes (smoke test)")
     figure6b.add_argument("--full", action="store_true", help="paper-scale sample sizes (slow)")
     figure6b.add_argument("--seed", type=int, default=2005)
+    figure6b.add_argument("--jobs", type=int, default=1,
+                          help="worker processes (results identical for any value)")
     figure6b.set_defaults(runner=_run_figure6b)
+
+    simulate = subparsers.add_parser(
+        "simulate",
+        help="simulate one application under one or more online DVS policies")
+    simulate.add_argument("--app", choices=("demo", "cnc", "gap"), default="demo",
+                          help="task set to schedule (demo = small 3-task example)")
+    simulate.add_argument("--method", choices=scheduler_names(), default="acs",
+                          help="offline scheduler producing the static schedule")
+    simulate.add_argument("--policy", default="greedy",
+                          help="online policy name, comma-separated list, or 'all' "
+                               f"(known: {', '.join(available_policies())})")
+    simulate.add_argument("--hyperperiods", type=int, default=50)
+    simulate.add_argument("--seed", type=int, default=2005)
+    simulate.add_argument("--ratio", type=float, default=0.5,
+                          help="BCEC/WCEC ratio of the workload")
+    simulate.set_defaults(runner=_run_simulate)
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="random-taskset sweep on a process pool (batched harness)")
+    sweep.add_argument("--tasksets", type=int, default=8, help="number of random task sets")
+    sweep.add_argument("--tasks", type=int, default=4, help="tasks per task set")
+    sweep.add_argument("--ratio", type=float, default=0.5, help="BCEC/WCEC ratio")
+    sweep.add_argument("--utilization", type=float, default=0.7)
+    sweep.add_argument("--hyperperiods", type=int, default=20)
+    sweep.add_argument("--seed", type=int, default=2005)
+    sweep.add_argument("--policy", choices=available_policies(), default="greedy")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (results identical for any value)")
+    sweep.add_argument("--quick", action="store_true", help="tiny sample sizes (smoke test)")
+    sweep.add_argument("--output", default=None,
+                       help="also write the full result as JSON to this path")
+    sweep.set_defaults(runner=_run_sweep)
 
     return parser
 
@@ -62,31 +118,126 @@ def _run_motivation(args: argparse.Namespace) -> str:
 
 def _run_figure6a(args: argparse.Namespace) -> str:
     if args.full:
-        config = Figure6aConfig(tasksets_per_point=100, hyperperiods_per_taskset=1000, seed=args.seed)
+        config = Figure6aConfig(tasksets_per_point=100, hyperperiods_per_taskset=1000,
+                                seed=args.seed, jobs=args.jobs)
     elif args.quick:
         config = Figure6aConfig(task_counts=(2, 4), tasksets_per_point=2,
-                                hyperperiods_per_taskset=5, seed=args.seed)
+                                hyperperiods_per_taskset=5, seed=args.seed, jobs=args.jobs)
     else:
-        config = Figure6aConfig(seed=args.seed)
+        config = Figure6aConfig(seed=args.seed, jobs=args.jobs)
     result = run_figure6a(config, verbose=True)
     return result.to_markdown()
 
 
 def _run_figure6b(args: argparse.Namespace) -> str:
     if args.full:
-        config = Figure6bConfig(hyperperiods_per_point=1000, gap_tasks=None, seed=args.seed)
+        config = Figure6bConfig(hyperperiods_per_point=1000, gap_tasks=None,
+                                seed=args.seed, jobs=args.jobs)
     elif args.quick:
-        config = Figure6bConfig(hyperperiods_per_point=5, gap_tasks=5, seed=args.seed)
+        config = Figure6bConfig(hyperperiods_per_point=5, gap_tasks=5,
+                                seed=args.seed, jobs=args.jobs)
     else:
-        config = Figure6bConfig(seed=args.seed)
+        config = Figure6bConfig(seed=args.seed, jobs=args.jobs)
     result = run_figure6b(config, verbose=True)
     return result.to_markdown()
+
+
+def _demo_taskset(ratio: float):
+    from .core.task import Task
+    from .core.taskset import TaskSet
+
+    taskset = TaskSet([
+        Task("camera", period=10, wcec=3000),
+        Task("planner", period=20, wcec=8000),
+        Task("logger", period=40, wcec=6000),
+    ], name="demo")
+    return taskset.with_bcec_ratio(ratio)
+
+
+def _run_simulate(args: argparse.Namespace) -> str:
+    if args.policy == "all":
+        policies = available_policies()
+    else:
+        policies = tuple(name.strip() for name in args.policy.split(",") if name.strip())
+    if not policies:
+        raise ExperimentError(
+            f"--policy needs at least one policy name (known: {', '.join(available_policies())})")
+    for name in policies:  # validate before the (expensive) offline scheduling
+        try:
+            get_policy(name)
+        except ValueError as error:
+            raise ExperimentError(str(error)) from None
+
+    processor = ideal_processor(fmax=1000.0)
+    if args.app == "demo":
+        taskset = _demo_taskset(args.ratio)
+    elif args.app == "cnc":
+        taskset = cnc_taskset(processor, bcec_wcec_ratio=args.ratio)
+    else:
+        taskset = gap_taskset(processor, bcec_wcec_ratio=args.ratio, n_tasks=8)
+
+    scheduler = make_schedulers([args.method], processor)[args.method]
+    schedule = scheduler.schedule(taskset)
+
+    rows: List[List[object]] = []
+    energies = {}
+    for name in policies:
+        simulator = DVSSimulator(
+            processor, policy=name,
+            config=SimulationConfig(n_hyperperiods=args.hyperperiods),
+        )
+        result = simulator.run(schedule, NormalWorkload(), np.random.default_rng(args.seed))
+        energies[name] = result.mean_energy_per_hyperperiod
+        rows.append([name, result.mean_energy_per_hyperperiod, result.miss_count])
+
+    reference_name = "static" if "static" in energies else policies[0]
+    reference = energies[reference_name]
+    for row in rows:
+        row.append(100.0 * (reference - energies[row[0]]) / reference if reference > 0 else 0.0)
+
+    header = (f"app={args.app} method={args.method} ratio={args.ratio:g} "
+              f"hyperperiods={args.hyperperiods} seed={args.seed}")
+    table = format_markdown_table(
+        ["policy", "energy / hyperperiod", "misses", f"saving vs {reference_name} %"], rows)
+    return "\n".join([header, "", table])
+
+
+def _run_sweep(args: argparse.Namespace) -> str:
+    if args.quick:
+        # --quick caps the *size* knobs (tasksets, tasks, hyperperiods) and
+        # restricts the period pool so the NLPs stay tiny, but scenario knobs
+        # (ratio, utilization, policy, seed) are honoured as given.
+        config = SweepConfig(n_tasksets=min(args.tasksets, 2), n_tasks=min(args.tasks, 3),
+                             bcec_wcec_ratio=args.ratio,
+                             target_utilization=args.utilization, n_hyperperiods=5,
+                             seed=args.seed, policy=args.policy, jobs=args.jobs,
+                             periods=(10.0, 20.0, 40.0))
+    else:
+        config = SweepConfig(n_tasksets=args.tasksets, n_tasks=args.tasks,
+                             bcec_wcec_ratio=args.ratio,
+                             target_utilization=args.utilization,
+                             n_hyperperiods=args.hyperperiods,
+                             seed=args.seed, policy=args.policy, jobs=args.jobs)
+    result = run_sweep(config)
+    if args.output:
+        from .reporting.serialization import save_json, sweep_result_to_dict
+        save_json(sweep_result_to_dict(result), args.output)
+    report = result.to_markdown()
+    # Wall-clock goes on a separate trailing line so the deterministic report
+    # above stays byte-identical across --jobs values.
+    return f"{report}\n\nwall-clock: {result.elapsed_seconds:.2f}s (jobs={config.jobs})"
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    output = args.runner(args)
+    try:
+        output = args.runner(args)
+    except ReproError as error:
+        # Bad user input surfaces as a clean message; genuine library bugs
+        # (anything not derived from ReproError) keep their traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     print(output)
     return 0
 

@@ -4,19 +4,37 @@ from .figure6a import Figure6aConfig, Figure6aPoint, Figure6aResult, run_figure6
 from .figure6b import Figure6bConfig, Figure6bPoint, Figure6bResult, run_figure6b
 from .harness import (
     ComparisonConfig,
+    ComparisonJob,
     ComparisonResult,
     MethodOutcome,
     compare_schedulers,
     default_schedulers,
+    make_schedulers,
+    random_comparison_job,
+    run_comparisons,
+    scheduler_names,
 )
 from .motivation import MotivationConfig, MotivationResult, motivation_taskset, run_motivation
+from .seeding import derive_rng, derive_seed, seed_sequence
+from .sweep import SweepConfig, SweepResult, run_sweep
 
 __all__ = [
     "ComparisonConfig",
+    "ComparisonJob",
     "ComparisonResult",
     "MethodOutcome",
     "compare_schedulers",
     "default_schedulers",
+    "make_schedulers",
+    "random_comparison_job",
+    "run_comparisons",
+    "scheduler_names",
+    "SweepConfig",
+    "SweepResult",
+    "run_sweep",
+    "derive_seed",
+    "derive_rng",
+    "seed_sequence",
     "Figure6aConfig",
     "Figure6aPoint",
     "Figure6aResult",

@@ -21,8 +21,8 @@ import numpy as np
 from ..power.presets import ideal_processor
 from ..power.processor import ProcessorModel
 from ..utils.tables import format_markdown_table
-from ..workloads.random_tasksets import RandomTaskSetConfig, generate_random_taskset
-from .harness import ComparisonConfig, compare_schedulers, default_schedulers
+from ..workloads.random_tasksets import RandomTaskSetConfig
+from .harness import ComparisonConfig, ComparisonJob, random_comparison_job, run_comparisons
 
 __all__ = ["Figure6aConfig", "Figure6aPoint", "Figure6aResult", "run_figure6a"]
 
@@ -42,6 +42,10 @@ class Figure6aConfig:
     #: pool to mutually divisible values keeps the hyperperiod — and with it the
     #: NLP size — small, which is how the quick/benchmark configurations stay fast.
     periods: Optional[Sequence[float]] = None
+    #: Worker processes used to execute the sweep (1 = in-process/serial).
+    #: Any value produces bitwise-identical results; see
+    #: :func:`repro.experiments.harness.run_comparisons`.
+    jobs: int = 1
 
     def resolved_processor(self) -> ProcessorModel:
         return self.processor if self.processor is not None else ideal_processor()
@@ -93,36 +97,46 @@ class Figure6aResult:
         return format_markdown_table(headers, rows)
 
 
+def _build_jobs(cfg: Figure6aConfig, processor: ProcessorModel) -> List[ComparisonJob]:
+    """One picklable work unit per (point, sample), with explicitly derived seeds."""
+    units: List[ComparisonJob] = []
+    for task_index, n_tasks in enumerate(cfg.task_counts):
+        for ratio_index, ratio in enumerate(cfg.bcec_wcec_ratios):
+            generator_kwargs = dict(
+                n_tasks=n_tasks,
+                target_utilization=cfg.target_utilization,
+                bcec_wcec_ratio=ratio,
+            )
+            if cfg.periods is not None:
+                generator_kwargs["periods"] = tuple(cfg.periods)
+            taskset_config = RandomTaskSetConfig(**generator_kwargs)
+            for sample_index in range(cfg.tasksets_per_point):
+                units.append(random_comparison_job(
+                    processor, taskset_config,
+                    ComparisonConfig(n_hyperperiods=cfg.hyperperiods_per_taskset,
+                                     seed=cfg.seed),
+                    task_index, ratio_index, sample_index,
+                    taskset_index=sample_index,
+                ))
+    return units
+
+
 def run_figure6a(config: Optional[Figure6aConfig] = None, *, verbose: bool = False) -> Figure6aResult:
-    """Regenerate Figure 6(a)."""
+    """Regenerate Figure 6(a) (``cfg.jobs`` worker processes, same result for any count)."""
     cfg = config or Figure6aConfig()
     processor = cfg.resolved_processor()
-    points: List[Figure6aPoint] = []
-    master_rng = np.random.default_rng(cfg.seed)
+    results = run_comparisons(_build_jobs(cfg, processor), n_jobs=cfg.jobs)
 
+    points: List[Figure6aPoint] = []
+    cursor = iter(results)
     for n_tasks in cfg.task_counts:
         for ratio in cfg.bcec_wcec_ratios:
             improvements: List[float] = []
             wcs_energies: List[float] = []
             acs_energies: List[float] = []
             misses = 0
-            for sample_index in range(cfg.tasksets_per_point):
-                generator_kwargs = dict(
-                    n_tasks=n_tasks,
-                    target_utilization=cfg.target_utilization,
-                    bcec_wcec_ratio=ratio,
-                )
-                if cfg.periods is not None:
-                    generator_kwargs["periods"] = tuple(cfg.periods)
-                taskset_config = RandomTaskSetConfig(**generator_kwargs)
-                taskset = generate_random_taskset(taskset_config, processor, master_rng,
-                                                  index=sample_index)
-                comparison_config = ComparisonConfig(
-                    n_hyperperiods=cfg.hyperperiods_per_taskset,
-                    seed=int(master_rng.integers(0, 2**31 - 1)),
-                )
-                result = compare_schedulers(taskset, processor,
-                                            default_schedulers(processor), comparison_config)
+            for _ in range(cfg.tasksets_per_point):
+                result = next(cursor)
                 improvements.append(result.improvement_over_baseline("acs"))
                 wcs_energies.append(result.energy("wcs"))
                 acs_energies.append(result.energy("acs"))

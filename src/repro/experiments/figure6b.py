@@ -11,15 +11,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from ..core.taskset import TaskSet
 from ..power.presets import ideal_processor
 from ..power.processor import ProcessorModel
 from ..utils.tables import format_markdown_table
 from ..workloads.cnc import cnc_taskset
 from ..workloads.gap import gap_taskset
-from .harness import ComparisonConfig, compare_schedulers, default_schedulers
+from .harness import ComparisonConfig, ComparisonJob, run_comparisons
+from .seeding import SIMULATION_STREAM
 
 __all__ = ["Figure6bConfig", "Figure6bPoint", "Figure6bResult", "run_figure6b"]
 
@@ -37,6 +36,8 @@ class Figure6bConfig:
     #: Number of GAP tasks to keep (None = all 17).  The full set expands to a
     #: few hundred sub-instances; smaller values keep quick runs fast.
     gap_tasks: Optional[int] = 8
+    #: Worker processes used to execute the sweep (1 = in-process/serial).
+    jobs: int = 1
 
     def resolved_processor(self) -> ProcessorModel:
         return self.processor if self.processor is not None else ideal_processor()
@@ -101,17 +102,24 @@ def run_figure6b(config: Optional[Figure6bConfig] = None, *, verbose: bool = Fal
     if unknown:
         raise KeyError(f"unknown applications {unknown}; known: {sorted(builders)}")
 
-    rng = np.random.default_rng(cfg.seed)
+    units: List[ComparisonJob] = []
+    for app_index, application in enumerate(cfg.applications):
+        for ratio_index, ratio in enumerate(cfg.bcec_wcec_ratios):
+            units.append(ComparisonJob(
+                processor=processor,
+                config=ComparisonConfig(
+                    n_hyperperiods=cfg.hyperperiods_per_point,
+                    seed=cfg.seed,
+                ).with_derived_seed(app_index, ratio_index, SIMULATION_STREAM),
+                taskset=builders[application](processor, ratio),
+            ))
+    results = run_comparisons(units, n_jobs=cfg.jobs)
+
     points: List[Figure6bPoint] = []
+    cursor = iter(results)
     for application in cfg.applications:
         for ratio in cfg.bcec_wcec_ratios:
-            taskset = builders[application](processor, ratio)
-            comparison_config = ComparisonConfig(
-                n_hyperperiods=cfg.hyperperiods_per_point,
-                seed=int(rng.integers(0, 2**31 - 1)),
-            )
-            result = compare_schedulers(taskset, processor,
-                                        default_schedulers(processor), comparison_config)
+            result = next(cursor)
             point = Figure6bPoint(
                 application=application,
                 bcec_wcec_ratio=ratio,

@@ -1,4 +1,4 @@
-"""Experiment harness: schedule a task set with several methods and simulate them.
+"""Experiment harness: schedule task sets with several methods and simulate them.
 
 This is the glue the paper's evaluation needs: for a given task set it
 
@@ -8,12 +8,22 @@ This is the glue the paper's evaluation needs: for a given task set it
    realisations (common random numbers, so the comparison is paired), and
 4. reports per-method runtime energy plus the percentage improvement of every
    method over a chosen baseline (WCS in the paper).
+
+On top of the single-taskset :func:`compare_schedulers`, the harness provides
+a **batched, multiprocess runner**: a sweep is described as a list of
+picklable :class:`ComparisonJob` work units and executed by
+:func:`run_comparisons`, serially or on a :class:`concurrent.futures`
+process pool.  Every job carries its own explicitly derived RNG seeds (see
+:mod:`repro.experiments.seeding`), so the results are bitwise-identical
+regardless of worker count or completion order.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+import copy
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -22,32 +32,68 @@ from ..core.errors import ExperimentError
 from ..core.taskset import TaskSet
 from ..offline.acs import ACSScheduler
 from ..offline.base import VoltageScheduler
+from ..offline.baselines import ConstantSpeedScheduler, MaxSpeedScheduler
 from ..offline.schedule import StaticSchedule
 from ..offline.wcs import WCSScheduler
 from ..power.processor import ProcessorModel
-from ..runtime.dvs import GreedySlackPolicy, SlackPolicy
+from ..runtime.policies import DVSPolicy, GreedySlackPolicy
 from ..runtime.results import SimulationResult, improvement_percent
 from ..runtime.simulator import DVSSimulator, SimulationConfig
 from ..workloads.distributions import NormalWorkload, WorkloadModel
+from ..workloads.random_tasksets import RandomTaskSetConfig, generate_random_taskset
+from .seeding import SIMULATION_STREAM, TASKSET_STREAM, derive_rng, derive_seed
 
-__all__ = ["ComparisonConfig", "MethodOutcome", "ComparisonResult", "compare_schedulers", "default_schedulers"]
+__all__ = [
+    "ComparisonConfig",
+    "MethodOutcome",
+    "ComparisonResult",
+    "ComparisonJob",
+    "compare_schedulers",
+    "run_comparisons",
+    "random_comparison_job",
+    "default_schedulers",
+    "make_schedulers",
+    "scheduler_names",
+]
 
 
 @dataclass(frozen=True)
 class ComparisonConfig:
-    """Settings shared by every method in one comparison."""
+    """Settings shared by every method in one comparison.
+
+    The ``seed`` is the *explicit* seed of this comparison's workload
+    generator: every method replays exactly the same draws (paired
+    comparison), and two runs with the same seed are bit-identical.  Sweeps
+    must not draw these seeds from a shared generator — derive them from the
+    work unit's coordinates with :meth:`with_derived_seed` so the value is
+    independent of execution order (serial and parallel runs then agree).
+    """
 
     n_hyperperiods: int = 50
     seed: Optional[int] = 12345
     baseline: str = "wcs"
     workload: WorkloadModel = field(default_factory=NormalWorkload)
-    policy: SlackPolicy = field(default_factory=GreedySlackPolicy)
+    policy: DVSPolicy = field(default_factory=GreedySlackPolicy)
     simulation: SimulationConfig = None
 
     def simulation_config(self) -> SimulationConfig:
         if self.simulation is not None:
             return self.simulation
         return SimulationConfig(n_hyperperiods=self.n_hyperperiods, seed=self.seed)
+
+    def with_derived_seed(self, *path: int) -> "ComparisonConfig":
+        """A copy whose seed is derived from ``(self.seed, *path)``.
+
+        ``path`` is the stable integer coordinate of the work unit,
+        conventionally ending with a stream tag — e.g. ``(point_index,
+        sample_index, seeding.SIMULATION_STREAM)`` — so simulation seeds can
+        never collide with the task-set generation stream.  A ``None`` seed
+        stays ``None``.  This is how the figure/sweep modules seed every
+        work unit; see :mod:`repro.experiments.seeding`.
+        """
+        if self.seed is None:
+            return self
+        return replace(self, seed=derive_seed(self.seed, *path))
 
 
 @dataclass
@@ -95,11 +141,44 @@ class ComparisonResult:
         return result
 
 
+# --------------------------------------------------------------------- #
+# Scheduler registry
+# --------------------------------------------------------------------- #
+_SCHEDULER_FACTORIES = {
+    "wcs": WCSScheduler,
+    "acs": ACSScheduler,
+    "max_speed": MaxSpeedScheduler,
+    "constant_speed": ConstantSpeedScheduler,
+}
+
+
+def scheduler_names() -> Tuple[str, ...]:
+    """Registry names accepted by :func:`make_schedulers` (and the CLI)."""
+    return tuple(sorted(_SCHEDULER_FACTORIES))
+
+
+def make_schedulers(names: Sequence[str], processor: ProcessorModel) -> Dict[str, VoltageScheduler]:
+    """Instantiate schedulers from registry names (order preserved).
+
+    Sweep work units ship scheduler *names* rather than instances so that the
+    units stay small and trivially picklable for the process pool.
+    """
+    unknown = [name for name in names if name not in _SCHEDULER_FACTORIES]
+    if unknown:
+        raise ExperimentError(
+            f"unknown schedulers {unknown}; known: {sorted(_SCHEDULER_FACTORIES)}"
+        )
+    return {name: _SCHEDULER_FACTORIES[name](processor) for name in names}
+
+
 def default_schedulers(processor: ProcessorModel) -> Dict[str, VoltageScheduler]:
     """The pair the paper compares: ACS against the WCS baseline."""
     return {"wcs": WCSScheduler(processor), "acs": ACSScheduler(processor)}
 
 
+# --------------------------------------------------------------------- #
+# Single comparison
+# --------------------------------------------------------------------- #
 def compare_schedulers(taskset: TaskSet, processor: ProcessorModel,
                        schedulers: Optional[Dict[str, VoltageScheduler]] = None,
                        config: Optional[ComparisonConfig] = None) -> ComparisonResult:
@@ -115,9 +194,102 @@ def compare_schedulers(taskset: TaskSet, processor: ProcessorModel,
     outcomes: Dict[str, MethodOutcome] = {}
     for name, scheduler in methods.items():
         schedule = scheduler.schedule_expansion(expansion)
-        simulator = DVSSimulator(processor, policy=cfg.policy, config=cfg.simulation_config())
+        # Each method gets its own policy instance: a stateful policy (one
+        # that accumulates across the lifecycle hooks) must not leak one
+        # method's runtime history into the next method's simulation.
+        simulator = DVSSimulator(processor, policy=copy.deepcopy(cfg.policy),
+                                 config=cfg.simulation_config())
         # Paired comparison: every method sees the same workload realisations.
         rng = np.random.default_rng(cfg.seed)
         simulation = simulator.run(schedule, cfg.workload, rng)
         outcomes[name] = MethodOutcome(method=name, schedule=schedule, simulation=simulation)
     return ComparisonResult(taskset_name=taskset.name, outcomes=outcomes, baseline=cfg.baseline)
+
+
+# --------------------------------------------------------------------- #
+# Batched, multiprocess execution
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ComparisonJob:
+    """One self-contained, picklable work unit of a sweep.
+
+    Either an explicit ``taskset`` is given (case studies, fixed sets), or a
+    ``taskset_config`` plus ``taskset_seed`` describe a random task set that
+    the worker generates itself — the generation RNG is derived from the seed
+    alone, so the same unit always produces the same task set no matter which
+    process runs it, or when.
+    """
+
+    processor: ProcessorModel
+    config: ComparisonConfig
+    taskset: Optional[TaskSet] = None
+    taskset_config: Optional[RandomTaskSetConfig] = None
+    taskset_seed: Optional[int] = None
+    taskset_index: int = 0
+    schedulers: Tuple[str, ...] = ("wcs", "acs")
+
+    def __post_init__(self) -> None:
+        if (self.taskset is None) == (self.taskset_config is None):
+            raise ExperimentError(
+                "exactly one of taskset / taskset_config must be given"
+            )
+        if self.taskset_config is not None and self.taskset_seed is None:
+            raise ExperimentError("a random-taskset job needs an explicit taskset_seed")
+
+    def resolve_taskset(self) -> TaskSet:
+        if self.taskset is not None:
+            return self.taskset
+        rng = derive_rng(self.taskset_seed)
+        return generate_random_taskset(self.taskset_config, self.processor, rng,
+                                       index=self.taskset_index)
+
+
+def random_comparison_job(processor: ProcessorModel, taskset_config: RandomTaskSetConfig,
+                          config: ComparisonConfig, *path: int, taskset_index: int = 0,
+                          schedulers: Tuple[str, ...] = ("wcs", "acs")) -> ComparisonJob:
+    """Build the work unit for one random task set at sweep coordinate ``path``.
+
+    This is the one place that encodes the seed-pairing convention: the
+    simulation seed is ``config.seed`` derived over ``(*path,
+    SIMULATION_STREAM)`` and the task-set generation seed over ``(*path,
+    TASKSET_STREAM)``.  Every random sweep (Figure 6a, ``repro sweep``) must
+    construct its units through here so the serial/parallel determinism
+    guarantee cannot diverge between callers.
+    """
+    if config.seed is None:
+        raise ExperimentError("random_comparison_job needs a non-None config.seed to derive from")
+    return ComparisonJob(
+        processor=processor,
+        config=config.with_derived_seed(*path, SIMULATION_STREAM),
+        taskset_config=taskset_config,
+        taskset_seed=derive_seed(config.seed, *path, TASKSET_STREAM),
+        taskset_index=taskset_index,
+        schedulers=tuple(schedulers),
+    )
+
+
+def _execute_comparison_job(job: ComparisonJob) -> ComparisonResult:
+    """Worker entry point (module-level so the process pool can pickle it)."""
+    taskset = job.resolve_taskset()
+    schedulers = make_schedulers(job.schedulers, job.processor)
+    return compare_schedulers(taskset, job.processor, schedulers, job.config)
+
+
+def run_comparisons(jobs: Sequence[ComparisonJob], n_jobs: int = 1,
+                    chunksize: int = 1) -> List[ComparisonResult]:
+    """Execute a batch of comparison jobs, optionally on a process pool.
+
+    ``n_jobs=1`` runs in-process (no pool overhead, easiest to debug);
+    ``n_jobs>1`` fans the units out over a :class:`ProcessPoolExecutor`.
+    Results are returned in submission order and are bitwise-identical for
+    any ``n_jobs``, because every unit derives its randomness from its own
+    coordinates rather than from shared-generator call order.
+    """
+    if n_jobs < 1:
+        raise ExperimentError("n_jobs must be at least 1")
+    jobs = list(jobs)
+    if n_jobs == 1 or len(jobs) <= 1:
+        return [_execute_comparison_job(job) for job in jobs]
+    workers = min(n_jobs, len(jobs))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_execute_comparison_job, jobs, chunksize=chunksize))

@@ -26,6 +26,12 @@ schedule that only considers worst-case cycles).
 The literal formulation with explicit voltage/average-workload variables is
 available in :mod:`repro.offline.nlp_literal` and is cross-checked against
 this one in the test suite.
+
+**When to use which:** this reduced formulation is the production path — it
+is what :class:`~repro.offline.acs.ACSScheduler` and
+:class:`~repro.offline.wcs.WCSScheduler` solve, and it scales to the full
+Figure 6 sweeps.  Reach for :mod:`repro.offline.nlp_literal` only to
+cross-validate against the paper's raw variable set on small expansions.
 """
 
 from __future__ import annotations

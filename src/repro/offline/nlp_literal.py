@@ -31,6 +31,12 @@ This formulation has six variables per sub-instance and genuinely non-convex
 constraints, so it only scales to small expansions; the reduced formulation in
 :mod:`repro.offline.nlp` is the production path.  Both are cross-checked in
 ``tests/offline/test_nlp_literal.py``.
+
+**When to use which:** use this module only as a correctness oracle — to
+verify the reduced formulation reproduces the paper's optimum on a small
+task set, or to inspect the paper's variables (voltages, average workloads)
+directly.  Everything else — experiments, the CLI, the case studies — goes
+through :mod:`repro.offline.nlp`.
 """
 
 from __future__ import annotations

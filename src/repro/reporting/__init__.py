@@ -2,11 +2,13 @@
 
 from .gantt import render_static_schedule, render_timeline
 from .serialization import (
+    comparison_result_to_dict,
     load_json,
     save_json,
     schedule_from_dict,
     schedule_to_dict,
     simulation_result_to_dict,
+    sweep_result_to_dict,
     taskset_from_dict,
     taskset_to_dict,
 )
@@ -19,6 +21,8 @@ __all__ = [
     "schedule_to_dict",
     "schedule_from_dict",
     "simulation_result_to_dict",
+    "comparison_result_to_dict",
+    "sweep_result_to_dict",
     "save_json",
     "load_json",
 ]

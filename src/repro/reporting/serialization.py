@@ -9,6 +9,8 @@ round-trips for both, without pickling arbitrary objects:
 * :func:`schedule_to_dict` / :func:`schedule_from_dict` (reattaches to a task
   set by re-expanding the hyperperiod and matching sub-instance keys)
 * :func:`simulation_result_to_dict`
+* :func:`comparison_result_to_dict` / :func:`sweep_result_to_dict` (the
+  experiment-harness aggregates, e.g. for ``repro sweep --output``)
 * :func:`save_json` / :func:`load_json`
 """
 
@@ -16,7 +18,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, TYPE_CHECKING, Union
 
 from ..analysis.preemption import expand_fully_preemptive
 from ..core.errors import ReproError
@@ -25,12 +27,18 @@ from ..core.taskset import TaskSet
 from ..offline.schedule import StaticSchedule
 from ..runtime.results import SimulationResult
 
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a hard dependency edge
+    from ..experiments.harness import ComparisonResult
+    from ..experiments.sweep import SweepResult
+
 __all__ = [
     "taskset_to_dict",
     "taskset_from_dict",
     "schedule_to_dict",
     "schedule_from_dict",
     "simulation_result_to_dict",
+    "comparison_result_to_dict",
+    "sweep_result_to_dict",
     "save_json",
     "load_json",
 ]
@@ -145,6 +153,58 @@ def simulation_result_to_dict(result: SimulationResult) -> Dict:
             }
             for miss in result.deadline_misses
         ],
+    }
+
+
+def comparison_result_to_dict(result: "ComparisonResult") -> Dict:
+    """Serialise one task set's scheduler comparison (per-method aggregates)."""
+    return {
+        "taskset": result.taskset_name,
+        "baseline": result.baseline,
+        "methods": {
+            method: {
+                "mean_energy_per_hyperperiod": outcome.mean_energy,
+                "improvement_over_baseline_percent": result.improvement_over_baseline(method),
+                "total_energy": outcome.simulation.total_energy,
+                "deadline_misses": outcome.simulation.miss_count,
+                "policy": outcome.simulation.policy,
+            }
+            for method, outcome in result.outcomes.items()
+        },
+    }
+
+
+def sweep_result_to_dict(result: "SweepResult") -> Dict:
+    """Serialise an aggregated sweep (configuration, aggregates, per-taskset results).
+
+    ``elapsed_seconds`` is reported for convenience but is the only
+    non-deterministic field; everything else is bitwise-stable across worker
+    counts and runs.
+    """
+    cfg = result.config
+    return {
+        "config": {
+            "n_tasksets": cfg.n_tasksets,
+            "n_tasks": cfg.n_tasks,
+            "bcec_wcec_ratio": cfg.bcec_wcec_ratio,
+            "target_utilization": cfg.target_utilization,
+            "n_hyperperiods": cfg.n_hyperperiods,
+            "seed": cfg.seed,
+            "policy": cfg.policy,
+            "schedulers": list(cfg.schedulers),
+            "baseline": cfg.baseline,
+            "jobs": cfg.jobs,
+        },
+        "aggregate": {
+            method: {
+                "mean_energy_per_hyperperiod": result.mean_energy(method),
+                "mean_improvement_over_baseline_percent": result.mean_improvement(method),
+            }
+            for method in result.methods()
+        },
+        "total_deadline_misses": result.total_misses(),
+        "elapsed_seconds": result.elapsed_seconds,
+        "results": [comparison_result_to_dict(r) for r in result.results],
     }
 
 

@@ -1,11 +1,16 @@
-"""Online DVS runtime: discrete-event simulator, slack policies, result records."""
+"""Online DVS runtime: discrete-event simulator, pluggable policies, result records."""
 
-from .dvs import (
+from .policies import (
+    DVSPolicy,
     GreedySlackPolicy,
+    LookaheadSlackPolicy,
     NoReclamationPolicy,
     ProportionalSlackPolicy,
     SlackPolicy,
     SpeedRequest,
+    StaticReplayPolicy,
+    available_policies,
+    get_policy,
     get_slack_policy,
 )
 from .results import DeadlineMiss, SimulationResult, improvement_percent
@@ -17,10 +22,15 @@ __all__ = [
     "SimulationResult",
     "DeadlineMiss",
     "improvement_percent",
+    "DVSPolicy",
     "SlackPolicy",
     "SpeedRequest",
-    "GreedySlackPolicy",
+    "StaticReplayPolicy",
     "NoReclamationPolicy",
+    "GreedySlackPolicy",
+    "LookaheadSlackPolicy",
     "ProportionalSlackPolicy",
+    "available_policies",
+    "get_policy",
     "get_slack_policy",
 ]

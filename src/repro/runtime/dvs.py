@@ -1,137 +1,38 @@
-"""Online speed-selection (slack-reclamation) policies.
+"""Backwards-compatible re-exports of the online DVS policy layer.
 
-The static schedule fixes, for every sub-instance, a planned end-time and a
-worst-case budget.  At runtime the dispatcher repeatedly asks the active
-policy which clock frequency to use for the job that is about to (re)start
-executing.  Three policies are provided:
-
-* :class:`GreedySlackPolicy` — the paper's policy: run just fast enough for
-  the *remaining worst-case budget of the current sub-instance* to finish by
-  its planned end-time.  Any slack inherited from early completions
-  automatically lowers the speed because the start time moved earlier.
-* :class:`NoReclamationPolicy` — ignore dynamic slack: always run at the speed
-  the static schedule planned for the worst case.  This isolates the benefit
-  of the *static* schedule from the benefit of reclamation.
-* :class:`ProportionalSlackPolicy` — a whole-job variant that spreads the
-  remaining worst-case work of the job until the *job* deadline instead of the
-  sub-instance end-time.  More aggressive than greedy; it may miss deadlines
-  for lower-priority jobs and is included as an ablation point only.
+The policy protocol and its implementations moved to
+:mod:`repro.runtime.policies` when the layer grew lifecycle hooks and the
+look-ahead variant; this module keeps the seed-era import path
+(``repro.runtime.dvs``) working.  New code should import from
+:mod:`repro.runtime.policies` (or :mod:`repro.runtime`).
 """
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
-from dataclasses import dataclass
-
-from ..power.processor import ProcessorModel
+from .policies import (
+    DVSPolicy,
+    GreedySlackPolicy,
+    LookaheadSlackPolicy,
+    NoReclamationPolicy,
+    ProportionalSlackPolicy,
+    SlackPolicy,
+    SpeedRequest,
+    StaticReplayPolicy,
+    available_policies,
+    get_policy,
+    get_slack_policy,
+)
 
 __all__ = [
     "SpeedRequest",
+    "DVSPolicy",
     "SlackPolicy",
-    "GreedySlackPolicy",
+    "StaticReplayPolicy",
     "NoReclamationPolicy",
+    "GreedySlackPolicy",
+    "LookaheadSlackPolicy",
     "ProportionalSlackPolicy",
+    "available_policies",
+    "get_policy",
     "get_slack_policy",
 ]
-
-
-@dataclass(frozen=True)
-class SpeedRequest:
-    """Everything a policy may look at when choosing a frequency.
-
-    Attributes
-    ----------
-    time_now:
-        Current simulation time (absolute).
-    end_time:
-        Planned end-time of the current sub-instance (absolute).
-    wc_remaining:
-        Worst-case cycles still budgeted to the current sub-instance.
-    planned_frequency:
-        Frequency the static schedule planned for this sub-instance assuming
-        the worst case and no dynamic slack.
-    job_wc_remaining:
-        Worst-case cycles remaining over the *whole job* (current plus future
-        sub-instances).
-    job_deadline:
-        Absolute deadline of the job.
-    """
-
-    time_now: float
-    end_time: float
-    wc_remaining: float
-    planned_frequency: float
-    job_wc_remaining: float
-    job_deadline: float
-
-
-class SlackPolicy(ABC):
-    """Base class for online speed-selection policies."""
-
-    #: short name used in experiment reports
-    name: str = "abstract"
-
-    @abstractmethod
-    def frequency(self, processor: ProcessorModel, request: SpeedRequest) -> float:
-        """Return the clock frequency to use, already clipped to the processor range."""
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"{type(self).__name__}()"
-
-
-class GreedySlackPolicy(SlackPolicy):
-    """The paper's greedy slack reclamation (stretch to the sub-instance end-time)."""
-
-    name = "greedy"
-
-    def frequency(self, processor: ProcessorModel, request: SpeedRequest) -> float:
-        if request.wc_remaining <= 0:
-            return processor.fmin
-        available = request.end_time - request.time_now
-        if available <= 0:
-            return processor.fmax
-        return processor.clip_frequency(request.wc_remaining / available)
-
-
-class NoReclamationPolicy(SlackPolicy):
-    """Always run at the statically planned worst-case speed (no dynamic slack use)."""
-
-    name = "static"
-
-    def frequency(self, processor: ProcessorModel, request: SpeedRequest) -> float:
-        return processor.clip_frequency(request.planned_frequency)
-
-
-class ProportionalSlackPolicy(SlackPolicy):
-    """Stretch the job's remaining worst-case work until the job deadline.
-
-    Unlike the greedy policy this ignores the sub-instance structure, so it
-    does not inherit the worst-case guarantee: a job slowed down this far may
-    push later (lower-priority) work past its deadline.  Deadline misses are
-    recorded by the simulator rather than prevented.
-    """
-
-    name = "proportional"
-
-    def frequency(self, processor: ProcessorModel, request: SpeedRequest) -> float:
-        if request.job_wc_remaining <= 0:
-            return processor.fmin
-        available = request.job_deadline - request.time_now
-        if available <= 0:
-            return processor.fmax
-        return processor.clip_frequency(request.job_wc_remaining / available)
-
-
-_POLICIES = {
-    GreedySlackPolicy.name: GreedySlackPolicy,
-    NoReclamationPolicy.name: NoReclamationPolicy,
-    ProportionalSlackPolicy.name: ProportionalSlackPolicy,
-}
-
-
-def get_slack_policy(name: str) -> SlackPolicy:
-    """Instantiate a policy by name (``"greedy"``, ``"static"``, ``"proportional"``)."""
-    try:
-        return _POLICIES[name.lower()]()
-    except KeyError:
-        raise ValueError(f"unknown slack policy {name!r}; known: {sorted(_POLICIES)}") from None

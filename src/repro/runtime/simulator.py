@@ -4,8 +4,11 @@ The simulator executes a :class:`~repro.offline.schedule.StaticSchedule` for a
 number of hyperperiods.  In every hyperperiod each job draws its *actual*
 execution cycles from a workload model (the paper uses a normal distribution
 truncated to [BCEC, WCEC]); the dispatcher is plain fixed-priority preemptive;
-the speed of the running job is chosen by a :class:`~repro.runtime.dvs.SlackPolicy`
-from the static end-times — exactly the runtime scheme of the paper.
+the speed of the running job is chosen by a pluggable
+:class:`~repro.runtime.policies.DVSPolicy` from the static end-times — exactly
+the runtime scheme of the paper.  Policies plug in without touching the event
+loop: the loop only ever calls the :class:`~repro.runtime.policies.DVSPolicy`
+interface (one speed query per dispatch plus the lifecycle hooks).
 
 The reported "runtime energy consumption" (total and per hyperperiod) is the
 quantity the paper's Figure 6 compares between ACS and WCS schedules.
@@ -14,7 +17,7 @@ quantity the paper's Figure 6 compares between ACS and WCS schedules.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -26,7 +29,7 @@ from ..power.processor import ProcessorModel
 from ..power.transition import TransitionModel
 from ..power.voltage import VoltageLevels
 from ..workloads.distributions import WorkloadModel, NormalWorkload
-from .dvs import GreedySlackPolicy, SlackPolicy, SpeedRequest
+from .policies import DVSPolicy, GreedySlackPolicy, SpeedRequest, get_policy
 from .results import DeadlineMiss, SimulationResult
 
 __all__ = ["SimulationConfig", "DVSSimulator"]
@@ -77,7 +80,7 @@ class _JobState:
     """Mutable per-job bookkeeping inside one hyperperiod."""
 
     __slots__ = (
-        "instance", "entries", "release", "deadline", "priority",
+        "instance", "entries", "release", "deadline", "priority", "final_end_time",
         "actual_remaining", "sub_index", "budget_remaining", "wc_remaining",
         "finished", "finish_time",
     )
@@ -89,6 +92,9 @@ class _JobState:
         self.release = instance.release + offset
         self.deadline = instance.deadline + offset
         self.priority = instance.priority
+        # Look-ahead horizon: the job's last planned sub-instance end-time.
+        self.final_end_time = (self.entries[-1].end_time + offset) if self.entries \
+            else self.deadline
         self.actual_remaining = max(actual_cycles, 0.0)
         self.sub_index = 0
         self.budget_remaining = self.entries[0].wc_budget if self.entries else 0.0
@@ -123,11 +129,20 @@ class _JobState:
 
 @dataclass
 class DVSSimulator:
-    """Event-driven runtime simulator (fixed-priority preemptive + online DVS)."""
+    """Event-driven runtime simulator (fixed-priority preemptive + online DVS).
+
+    The ``policy`` may be given as a :class:`~repro.runtime.policies.DVSPolicy`
+    instance or as a registry name (``"static"``, ``"greedy"``, ``"lookahead"``,
+    ``"proportional"``).
+    """
 
     processor: ProcessorModel
-    policy: SlackPolicy = field(default_factory=GreedySlackPolicy)
+    policy: Union[DVSPolicy, str] = field(default_factory=GreedySlackPolicy)
     config: SimulationConfig = field(default_factory=SimulationConfig)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.policy, str):
+            self.policy = get_policy(self.policy)
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -149,8 +164,10 @@ class DVSSimulator:
         transition_energy_total = 0.0
         jobs_completed = 0
 
+        self.policy.on_simulation_start(schedule, self.processor)
         for hp_index in range(self.config.n_hyperperiods):
             offset = hp_index * hyperperiod
+            self.policy.on_hyperperiod_start(hp_index, offset)
             jobs = self._build_jobs(schedule, workload_model, generator, offset)
             hp_energy, hp_transition_energy = self._simulate_hyperperiod(
                 jobs, offset, hyperperiod, planned_frequencies, energy_by_task,
@@ -249,6 +266,7 @@ class DVSSimulator:
                 planned_frequency=planned_frequencies[entry.key],
                 job_wc_remaining=job.wc_remaining,
                 job_deadline=job.deadline,
+                job_final_end_time=job.final_end_time,
             )
             frequency = self.policy.frequency(self.processor, request)
             voltage = self.processor.voltage_for_frequency(frequency)
@@ -308,6 +326,8 @@ class DVSSimulator:
             if job.actual_remaining <= _EPS:
                 job.finished = True
                 job.finish_time = time_now
+                self.policy.on_job_finish(task_name, job.instance.job_index,
+                                          time_now, job.deadline)
                 if time_now > job.deadline + 1e-6 * max(1.0, job.deadline):
                     miss = DeadlineMiss(
                         task_name=task_name,

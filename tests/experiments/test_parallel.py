@@ -1,0 +1,138 @@
+"""Serial/parallel equivalence of the batched harness and the seed derivation."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ExperimentError
+from repro.experiments.harness import (
+    ComparisonConfig,
+    ComparisonJob,
+    make_schedulers,
+    run_comparisons,
+    scheduler_names,
+)
+from repro.experiments.seeding import derive_rng, derive_seed
+from repro.experiments.sweep import SweepConfig, run_sweep
+from repro.reporting.serialization import sweep_result_to_dict
+
+#: Divisor-friendly pool: hyperperiod ≤ 20, so the NLPs stay tiny and fast.
+_FAST_PERIODS = (10.0, 20.0)
+
+
+def _fast_sweep_config(jobs: int) -> SweepConfig:
+    return SweepConfig(n_tasksets=3, n_tasks=2, n_hyperperiods=4, seed=42,
+                       jobs=jobs, periods=_FAST_PERIODS)
+
+
+class TestSeedDerivation:
+    def test_deterministic(self):
+        assert derive_seed(7, 1, 2, 3) == derive_seed(7, 1, 2, 3)
+
+    def test_path_sensitive(self):
+        seeds = {derive_seed(7), derive_seed(7, 0), derive_seed(7, 1),
+                 derive_seed(7, 0, 0), derive_seed(7, 0, 1), derive_seed(8, 0, 0)}
+        assert len(seeds) == 6
+
+    def test_order_sensitive(self):
+        assert derive_seed(7, 1, 2) != derive_seed(7, 2, 1)
+
+    def test_fits_in_31_bits(self):
+        for path in [(0,), (1, 2), (3, 4, 5)]:
+            assert 0 <= derive_seed(1234, *path) < 2**31
+
+    def test_derive_rng_reproducible(self):
+        a = derive_rng(9, 1).integers(0, 1 << 30, size=4)
+        b = derive_rng(9, 1).integers(0, 1 << 30, size=4)
+        assert np.array_equal(a, b)
+
+    def test_config_with_derived_seed(self):
+        config = ComparisonConfig(seed=99)
+        derived = config.with_derived_seed(0, 3)
+        assert derived.seed == derive_seed(99, 0, 3)
+        assert config.seed == 99  # original untouched
+        assert ComparisonConfig(seed=None).with_derived_seed(1).seed is None
+
+
+class TestSchedulerRegistry:
+    def test_known_names(self):
+        assert {"wcs", "acs"}.issubset(scheduler_names())
+
+    def test_make_schedulers(self, processor):
+        schedulers = make_schedulers(["wcs", "acs"], processor)
+        assert list(schedulers) == ["wcs", "acs"]
+
+    def test_unknown_rejected(self, processor):
+        with pytest.raises(ExperimentError):
+            make_schedulers(["wcs", "oracle"], processor)
+
+
+class TestComparisonJob:
+    def test_needs_exactly_one_taskset_source(self, two_task_set, processor):
+        with pytest.raises(ExperimentError):
+            ComparisonJob(processor=processor, config=ComparisonConfig())
+        with pytest.raises(ExperimentError):
+            ComparisonJob(processor=processor, config=ComparisonConfig(),
+                          taskset=two_task_set,
+                          taskset_config=object())  # both given
+
+    def test_explicit_taskset_job(self, two_task_set, processor):
+        job = ComparisonJob(processor=processor,
+                            config=ComparisonConfig(n_hyperperiods=3, seed=1),
+                            taskset=two_task_set)
+        (result,) = run_comparisons([job])
+        assert set(result.methods()) == {"wcs", "acs"}
+
+    def test_random_job_requires_seed(self, processor):
+        from repro.workloads.random_tasksets import RandomTaskSetConfig
+        with pytest.raises(ExperimentError):
+            ComparisonJob(processor=processor, config=ComparisonConfig(),
+                          taskset_config=RandomTaskSetConfig())
+
+    def test_rejects_nonpositive_jobs(self, two_task_set, processor):
+        job = ComparisonJob(processor=processor, config=ComparisonConfig(),
+                            taskset=two_task_set)
+        with pytest.raises(ExperimentError):
+            run_comparisons([job], n_jobs=0)
+
+
+class TestSerialParallelEquivalence:
+    def test_sweep_results_bitwise_identical(self):
+        serial = run_sweep(_fast_sweep_config(jobs=1))
+        parallel = run_sweep(_fast_sweep_config(jobs=2))
+        for left, right in zip(serial.results, parallel.results):
+            assert left.taskset_name == right.taskset_name
+            for method in ("wcs", "acs"):
+                # Bitwise: exact float equality, not approx.
+                assert left.energy(method) == right.energy(method)
+                assert (left.outcomes[method].simulation.energy_per_hyperperiod
+                        == right.outcomes[method].simulation.energy_per_hyperperiod)
+        assert serial.to_markdown() == parallel.to_markdown()
+
+    def test_sweep_json_identical_up_to_wall_clock(self):
+        serial = sweep_result_to_dict(run_sweep(_fast_sweep_config(jobs=1)))
+        parallel = sweep_result_to_dict(run_sweep(_fast_sweep_config(jobs=2)))
+        serial.pop("elapsed_seconds")
+        parallel.pop("elapsed_seconds")
+        config_serial = serial["config"].pop("jobs")
+        config_parallel = parallel["config"].pop("jobs")
+        assert (config_serial, config_parallel) == (1, 2)
+        assert serial == parallel
+
+    def test_rerun_is_reproducible(self):
+        first = run_sweep(_fast_sweep_config(jobs=1))
+        second = run_sweep(_fast_sweep_config(jobs=1))
+        assert first.to_markdown() == second.to_markdown()
+
+
+class TestFigureParallelEquivalence:
+    def test_figure6a_jobs_equivalent(self):
+        from repro.experiments.figure6a import Figure6aConfig, run_figure6a
+        base = dict(task_counts=(2,), bcec_wcec_ratios=(0.1, 0.5),
+                    tasksets_per_point=2, hyperperiods_per_taskset=3, seed=11,
+                    periods=_FAST_PERIODS)
+        serial = run_figure6a(Figure6aConfig(jobs=1, **base))
+        parallel = run_figure6a(Figure6aConfig(jobs=2, **base))
+        for left, right in zip(serial.points, parallel.points):
+            assert left.mean_improvement_percent == right.mean_improvement_percent
+            assert left.mean_wcs_energy == right.mean_wcs_energy
+            assert left.mean_acs_energy == right.mean_acs_energy

@@ -11,7 +11,8 @@ class TestParser:
         with pytest.raises(SystemExit):
             parser.parse_args([])
 
-    @pytest.mark.parametrize("command", ["motivation", "figure6a", "figure6b"])
+    @pytest.mark.parametrize("command", ["motivation", "figure6a", "figure6b",
+                                         "simulate", "sweep"])
     def test_known_subcommands(self, command):
         args = build_parser().parse_args([command])
         assert callable(args.runner)
@@ -19,6 +20,24 @@ class TestParser:
     def test_flags(self):
         args = build_parser().parse_args(["figure6a", "--quick", "--seed", "11"])
         assert args.quick and args.seed == 11
+
+    def test_figure_jobs_flag(self):
+        args = build_parser().parse_args(["figure6a", "--jobs", "4"])
+        assert args.jobs == 4
+
+    def test_simulate_flags(self):
+        args = build_parser().parse_args(
+            ["simulate", "--app", "cnc", "--method", "acs", "--policy", "all"])
+        assert args.app == "cnc" and args.method == "acs" and args.policy == "all"
+
+    def test_sweep_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "--jobs", "2", "--tasksets", "6", "--policy", "lookahead"])
+        assert args.jobs == 2 and args.tasksets == 6 and args.policy == "lookahead"
+
+    def test_sweep_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--policy", "oracle"])
 
 
 class TestMain:
@@ -32,3 +51,32 @@ class TestMain:
         assert main(["figure6b", "--quick"]) == 0
         output = capsys.readouterr().out
         assert "CNC" in output and "GAP" in output
+
+    def test_simulate_demo_all_policies(self, capsys):
+        assert main(["simulate", "--app", "demo", "--policy", "all",
+                     "--hyperperiods", "5"]) == 0
+        output = capsys.readouterr().out
+        for policy in ("static", "greedy", "lookahead", "proportional"):
+            assert policy in output
+        assert "saving vs static %" in output
+
+    @pytest.mark.parametrize("argv", [
+        ["simulate", "--app", "demo", "--policy", "oracle"],
+        ["simulate", "--app", "demo", "--policy", ""],
+        ["sweep", "--quick", "--jobs", "0"],
+    ])
+    def test_bad_arguments_fail_cleanly(self, argv, capsys):
+        assert main(argv) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+
+    def test_sweep_quick_runs_and_saves_json(self, capsys, tmp_path):
+        target = tmp_path / "sweep.json"
+        assert main(["sweep", "--quick", "--output", str(target)]) == 0
+        output = capsys.readouterr().out
+        assert "mean energy / hyperperiod" in output
+        assert "wall-clock" in output
+        import json
+        data = json.loads(target.read_text())
+        assert data["config"]["policy"] == "greedy"
+        assert len(data["results"]) == data["config"]["n_tasksets"]
