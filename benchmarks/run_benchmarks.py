@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Run the pytest-benchmark suite and record a machine-readable perf snapshot.
+
+The runner executes the benchmarks under ``benchmarks/`` (optionally filtered
+with ``-k``-style selection) through pytest-benchmark, then condenses the raw
+report into ``BENCH_<date>.json`` — one small, diff-friendly file per run that
+tracks the repository's performance trajectory over time:
+
+```
+python benchmarks/run_benchmarks.py                       # full suite
+python benchmarks/run_benchmarks.py -k "figure6a or parallel_sweep"
+python benchmarks/run_benchmarks.py --output-dir perf --meta machine=ci
+```
+
+Each snapshot records the per-benchmark wall-clock seconds, the commit it was
+taken at, interpreter/platform info and any ``--meta key=value`` annotations
+(used e.g. to record the pre-change baseline a speedup was measured against).
+Exit status is pytest's, so CI can surface regressions while still uploading
+the snapshot artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _datetime
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_DIR = os.path.join(REPO_ROOT, "benchmarks")
+
+
+def _git_commit() -> str:
+    try:
+        output = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=REPO_ROOT,
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+        return output or "unknown"
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def _parse_meta(pairs: list) -> dict:
+    meta = {}
+    for pair in pairs:
+        key, separator, value = pair.partition("=")
+        if not separator:
+            raise SystemExit(f"--meta expects key=value, got {pair!r}")
+        meta[key] = value
+    return meta
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-k", "--select", default=None,
+                        help="pytest -k expression selecting benchmarks")
+    parser.add_argument("--output-dir", default=REPO_ROOT,
+                        help="directory for BENCH_<date>.json (default: repo root)")
+    parser.add_argument("--date", default=None,
+                        help="override the snapshot date (YYYY-MM-DD)")
+    parser.add_argument("--meta", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="extra metadata recorded in the snapshot (repeatable)")
+    parser.add_argument("--force", action="store_true",
+                        help="overwrite an existing BENCH_<date>.json")
+    parser.add_argument("pytest_args", nargs="*",
+                        help="extra arguments forwarded to pytest")
+    options = parser.parse_args(argv)
+
+    date = options.date or _datetime.date.today().isoformat()
+    output_path = os.path.join(options.output_dir, f"BENCH_{date}.json")
+    if os.path.exists(output_path) and not options.force:
+        # Committed snapshots can carry hand-curated baseline metadata;
+        # never clobber one silently.
+        raise SystemExit(
+            f"{output_path} already exists; pass --force to overwrite "
+            f"or --output-dir/--date for a separate snapshot"
+        )
+    benchmarks = []
+    with tempfile.TemporaryDirectory(prefix="bench-") as scratch_dir:
+        raw_path = os.path.join(scratch_dir, "raw.json")
+        command = [
+            sys.executable, "-m", "pytest", BENCH_DIR,
+            # The benchmark modules are named bench_*.py, which plain pytest
+            # does not collect from a directory path.
+            "-o", "python_files=bench_*.py",
+            "--benchmark-only", f"--benchmark-json={raw_path}",
+            "-q",
+        ]
+        if options.select:
+            command += ["-k", options.select]
+        command += options.pytest_args
+
+        environment = dict(os.environ)
+        src = os.path.join(REPO_ROOT, "src")
+        environment["PYTHONPATH"] = src + os.pathsep + environment.get("PYTHONPATH", "")
+        status = subprocess.run(command, cwd=REPO_ROOT, env=environment).returncode
+
+        if os.path.exists(raw_path) and os.path.getsize(raw_path) > 0:
+            with open(raw_path) as handle:
+                raw = json.load(handle)
+            for record in raw.get("benchmarks", []):
+                stats = record.get("stats", {})
+                benchmarks.append({
+                    "name": record.get("fullname", record.get("name", "unknown")),
+                    "wall_s": stats.get("mean"),
+                    "min_s": stats.get("min"),
+                    "max_s": stats.get("max"),
+                    "rounds": stats.get("rounds"),
+                })
+
+    snapshot = {
+        "date": date,
+        "commit": _git_commit(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "pytest_exit_status": status,
+        "meta": _parse_meta(options.meta),
+        "benchmarks": benchmarks,
+    }
+    os.makedirs(options.output_dir, exist_ok=True)
+    with open(output_path, "w") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    print(f"wrote {output_path} ({len(benchmarks)} benchmark(s))")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -75,11 +75,17 @@ class ComparisonConfig:
     workload: WorkloadModel = field(default_factory=NormalWorkload)
     policy: DVSPolicy = field(default_factory=GreedySlackPolicy)
     simulation: SimulationConfig = None
+    #: Run the simulator's compiled event loop (identical results either way;
+    #: ``False`` pins the reference loop, e.g. for equivalence sweeps).  Only
+    #: consulted when ``simulation`` is unset — an explicit
+    #: :class:`SimulationConfig` carries its own ``fast_path`` and wins.
+    fast_path: bool = True
 
     def simulation_config(self) -> SimulationConfig:
         if self.simulation is not None:
             return self.simulation
-        return SimulationConfig(n_hyperperiods=self.n_hyperperiods, seed=self.seed)
+        return SimulationConfig(n_hyperperiods=self.n_hyperperiods, seed=self.seed,
+                                fast_path=self.fast_path)
 
     def with_derived_seed(self, *path: int) -> "ComparisonConfig":
         """A copy whose seed is derived from ``(self.seed, *path)``.

@@ -5,6 +5,7 @@ from .base import VoltageScheduler
 from .baselines import ConstantSpeedScheduler, MaxSpeedScheduler
 from .evaluation import (
     AnalyticOutcome,
+    CompiledEvaluation,
     average_case_energy,
     evaluate_schedule,
     evaluate_vectors,
@@ -32,6 +33,7 @@ __all__ = [
     "StaticSchedule",
     "ScheduledSubInstance",
     "AnalyticOutcome",
+    "CompiledEvaluation",
     "evaluate_schedule",
     "evaluate_vectors",
     "average_case_energy",

@@ -28,12 +28,21 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from ..analysis.preemption import FullyPreemptiveSchedule
 from ..core.errors import SchedulingError
 from ..power.processor import ProcessorModel
 from .schedule import StaticSchedule
 
-__all__ = ["AnalyticOutcome", "evaluate_vectors", "evaluate_schedule", "worst_case_energy", "average_case_energy"]
+__all__ = [
+    "AnalyticOutcome",
+    "CompiledEvaluation",
+    "evaluate_vectors",
+    "evaluate_schedule",
+    "worst_case_energy",
+    "average_case_energy",
+]
 
 _EPS = 1e-12
 
@@ -134,6 +143,255 @@ def evaluate_vectors(expansion: FullyPreemptiveSchedule, end_times: Sequence[flo
         sub_finish_times=sub_finishes,
         deadline_misses=misses,
     )
+
+
+class CompiledEvaluation:
+    """Pre-indexed, vectorizable form of the analytic greedy propagation.
+
+    The reduced NLP evaluates :func:`evaluate_vectors` (energy only) hundreds
+    of thousands of times per solve — once per finite-difference perturbation
+    of every variable.  This class compiles the parts of the evaluation that
+    do not depend on the decision variables (slot starts, per-sub-instance
+    task constants, the per-job sequential-fill grouping, the processor's
+    linear-law constants) and offers
+
+    * :meth:`energy` — a drop-in scalar evaluation, and
+    * :meth:`energies` — a *batched* evaluation of many end-time/budget
+      columns at once, used to compute a whole finite-difference gradient in
+      one pass over the total order.
+
+    Both are **bitwise-identical** to ``evaluate_vectors(...).energy``: every
+    arithmetic operation is performed in the same order with the same
+    associativity as the reference loop (the tests in
+    ``tests/offline/test_evaluation.py`` assert exact equality).  Only
+    ``law="linear"`` processors are supported — the CMOS delay law needs
+    ``x ** alpha``, whose NumPy vectorization is not bitwise-equal to the
+    scalar power — and :meth:`supported` reports whether a processor
+    qualifies; callers fall back to :func:`evaluate_vectors` otherwise.
+    """
+
+    def __init__(self, expansion: FullyPreemptiveSchedule, processor: ProcessorModel,
+                 actual_cycles: Optional[Dict[str, float]] = None) -> None:
+        if not self.supported(processor):
+            raise SchedulingError(
+                f"CompiledEvaluation requires a linear-law processor, got law={processor.law!r}"
+            )
+        subs = expansion.sub_instances
+        instances = expansion.instances
+        self.expansion = expansion
+        self.processor = processor
+        self.n_subs = len(subs)
+
+        instance_index = {instance.key: i for i, instance in enumerate(instances)}
+        self._slot_starts = [sub.slot_start for sub in subs]
+        self._ceffs = [sub.task.ceff for sub in subs]
+        self._instance_of_sub = [instance_index[sub.instance.key] for sub in subs]
+        remaining = []
+        for instance in instances:
+            if actual_cycles is None:
+                remaining.append(instance.acec)
+            else:
+                remaining.append(actual_cycles.get(instance.key, instance.acec))
+        self._initial_remaining = remaining
+
+        # Per-job sequential fill grouped by position: subs of one job appear
+        # in sub-index order along the total order, so the p-th subs of all
+        # jobs can be filled together once positions 0..p-1 are done.
+        position_of_sub = [0] * len(subs)
+        seen: Dict[int, int] = {}
+        for order, sub in enumerate(subs):
+            inst = self._instance_of_sub[order]
+            position_of_sub[order] = seen.get(inst, 0)
+            seen[inst] = position_of_sub[order] + 1
+        max_position = max(position_of_sub, default=-1) + 1
+        self._positions: List[tuple] = []
+        for position in range(max_position):
+            sub_rows = np.array(
+                [order for order in range(len(subs)) if position_of_sub[order] == position],
+                dtype=np.intp,
+            )
+            inst_rows = np.array([self._instance_of_sub[order] for order in sub_rows],
+                                 dtype=np.intp)
+            self._positions.append((sub_rows, inst_rows))
+
+        self._fmax = processor.fmax
+        self._fmin = processor.fmin
+        self._vmin = processor.vmin
+        self._vmax = processor.vmax
+        self._k = processor._k
+        self._fill_scratch: Dict[int, tuple] = {}
+        self._column_scratch: Dict[int, tuple] = {}
+
+    @staticmethod
+    def supported(processor: ProcessorModel) -> bool:
+        """Whether the batched evaluation is bitwise-exact for ``processor``."""
+        return processor.law == "linear"
+
+    # ------------------------------------------------------------------ #
+    # Scalar fast path
+    # ------------------------------------------------------------------ #
+    def energy(self, end_times: Sequence[float], wc_budgets: Sequence[float]) -> float:
+        """Energy of one hyperperiod; equals ``evaluate_vectors(...).energy`` bitwise."""
+        ends = np.asarray(end_times, dtype=float).tolist()
+        budgets = np.asarray(wc_budgets, dtype=float).tolist()
+        return self.energy_from_lists(ends, budgets)
+
+    def energy_from_lists(self, ends: List[float], budgets: List[float]) -> float:
+        """:meth:`energy` on plain float lists (no array round-trip)."""
+        remaining = list(self._initial_remaining)
+        slot_starts = self._slot_starts
+        ceffs = self._ceffs
+        instance_of_sub = self._instance_of_sub
+        fmax = self._fmax
+        fmin = self._fmin
+        vmin = self._vmin
+        vmax = self._vmax
+        k = self._k
+
+        energy = 0.0
+        previous_finish = 0.0
+        # Branch-inlined max/min (ties keep the first operand, exactly like
+        # the builtins): this loop runs once per finite-difference line-search
+        # point, and the call overhead of max()/min() is its dominant cost.
+        for index in range(self.n_subs):
+            budget = budgets[index]
+            if budget < 0.0:
+                budget = 0.0
+            instance = instance_of_sub[index]
+            rem = remaining[instance]
+            positive_rem = rem if rem >= 0.0 else 0.0
+            executed = budget if budget <= positive_rem else positive_rem
+            slot = slot_starts[index]
+            start = slot if slot >= previous_finish else previous_finish
+            if executed > _EPS:
+                available = ends[index] - start
+                if available <= _EPS:
+                    frequency = fmax
+                else:
+                    frequency = budget / available
+                    if frequency < fmin:
+                        frequency = fmin
+                    elif frequency > fmax:
+                        frequency = fmax
+                # voltage_for_frequency / frequency(voltage), linear law inlined.
+                if frequency <= 0:
+                    voltage = vmin
+                elif frequency >= fmax:
+                    voltage = vmax
+                elif frequency <= fmin:
+                    voltage = vmin
+                else:
+                    voltage = frequency * k
+                    if voltage < vmin:
+                        voltage = vmin
+                    elif voltage > vmax:
+                        voltage = vmax
+                frequency = voltage / k
+                energy += executed * ((ceffs[index] * voltage) * voltage)
+                finish = start + executed / frequency
+                remaining[instance] = rem - executed
+                if finish > previous_finish:
+                    previous_finish = finish
+            elif start > previous_finish:
+                previous_finish = start
+        return energy
+
+    # ------------------------------------------------------------------ #
+    # Batched path
+    # ------------------------------------------------------------------ #
+    def energies(self, end_times: np.ndarray, wc_budgets: np.ndarray) -> np.ndarray:
+        """Energies of many candidate schedules at once.
+
+        ``end_times`` and ``wc_budgets`` are ``(n_subs, K)`` matrices whose
+        columns are independent candidate vectors in total order; returns the
+        ``(K,)`` energy vector, each element bitwise-equal to the scalar
+        evaluation of that column.
+        """
+        ends = np.asarray(end_times, dtype=float)
+        raw_budgets = np.asarray(wc_budgets, dtype=float)
+        if ends.ndim != 2 or ends.shape[0] != self.n_subs or raw_budgets.shape != ends.shape:
+            raise SchedulingError(
+                f"expected matching ({self.n_subs}, K) matrices, got {ends.shape} and {raw_budgets.shape}"
+            )
+        n_columns = ends.shape[1]
+        if n_columns == 0:
+            return np.zeros(0)
+        budgets = np.maximum(raw_budgets, 0.0)
+
+        # Phase 1 — per-job sequential fill of the actual cycles (depends on
+        # budgets only): position p of every job is resolved in lockstep.
+        fill = self._fill_scratch.get(n_columns)
+        if fill is None:
+            fill = (
+                np.empty((len(self._initial_remaining), n_columns), dtype=float),
+                np.empty((self.n_subs, n_columns), dtype=float),
+                np.empty((self.n_subs, n_columns), dtype=bool),
+            )
+            self._fill_scratch[n_columns] = fill
+        remaining, executed, executed_mask = fill
+        remaining[:] = np.asarray(self._initial_remaining, dtype=float)[:, None]
+        for sub_rows, inst_rows in self._positions:
+            chunk = np.minimum(budgets[sub_rows], np.maximum(remaining[inst_rows], 0.0))
+            mask = chunk > _EPS
+            executed[sub_rows] = chunk
+            executed_mask[sub_rows] = mask
+            remaining[inst_rows] = remaining[inst_rows] - np.where(mask, chunk, 0.0)
+
+        # Phase 2 — propagate finish times along the total order (inherently
+        # sequential over sub-instances, vectorized across columns).  All
+        # temporaries live in per-width scratch buffers: the loop body is
+        # in-place ufunc calls, no allocations.  Every operation mirrors the
+        # scalar chain bit for bit — boolean-mask assignment replaces
+        # ``np.where`` (identical selection), and zeroing masked-out segments
+        # before the running ``+=`` equals skipping them (the accumulator
+        # never goes negative, so ``x + 0.0 == x`` holds bitwise).
+        slot_starts = self._slot_starts
+        ceffs = self._ceffs
+        fmax = self._fmax
+        fmin = self._fmin
+        vmin = self._vmin
+        vmax = self._vmax
+        k = self._k
+        scratch = self._column_scratch.get(n_columns)
+        if scratch is None:
+            scratch = tuple(np.empty(n_columns) for _ in range(5)) + (
+                np.empty(n_columns, dtype=bool),
+            )
+            self._column_scratch[n_columns] = scratch
+        start, available, frequency, voltage, segment, condition = scratch
+        previous_finish = np.zeros(n_columns)
+        energy = np.zeros(n_columns)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            for index in range(self.n_subs):
+                np.maximum(slot_starts[index], previous_finish, out=start)
+                np.subtract(ends[index], start, out=available)
+                np.divide(budgets[index], available, out=frequency)
+                np.maximum(frequency, fmin, out=frequency)
+                np.minimum(frequency, fmax, out=frequency)
+                np.less_equal(available, _EPS, out=condition)
+                frequency[condition] = fmax
+                np.multiply(frequency, k, out=voltage)
+                np.maximum(voltage, vmin, out=voltage)
+                np.minimum(voltage, vmax, out=voltage)
+                np.less_equal(frequency, fmin, out=condition)
+                voltage[condition] = vmin
+                np.greater_equal(frequency, fmax, out=condition)
+                voltage[condition] = vmax
+                np.divide(voltage, k, out=frequency)
+                chunk = executed[index]
+                np.multiply(ceffs[index], voltage, out=segment)
+                np.multiply(segment, voltage, out=segment)
+                np.multiply(chunk, segment, out=segment)
+                np.logical_not(executed_mask[index], out=condition)
+                segment[condition] = 0.0
+                energy += segment
+                # finish = start + executed / frequency where executed ran.
+                np.divide(chunk, frequency, out=frequency)
+                np.add(start, frequency, out=frequency)
+                frequency[condition] = 0.0
+                np.maximum(frequency, start, out=frequency)
+                np.maximum(previous_finish, frequency, out=previous_finish)
+        return energy
 
 
 def evaluate_schedule(schedule: StaticSchedule, processor: ProcessorModel,

@@ -45,7 +45,7 @@ from scipy import optimize
 from ..analysis.preemption import FullyPreemptiveSchedule
 from ..core.errors import OptimizationError, SchedulingError
 from ..power.processor import ProcessorModel
-from .evaluation import evaluate_vectors
+from .evaluation import CompiledEvaluation, evaluate_vectors
 from .initialization import proportional_budget_vectors, worst_case_simulation_vectors
 from .schedule import StaticSchedule
 
@@ -66,6 +66,14 @@ class SolverOptions:
     #: small amount; the margin keeps the *true* chain constraint satisfiable
     #: after the post-solve repair, at a negligible cost in optimality.
     chain_margin_fraction: float = 1e-5
+    #: Compute the solver's forward-difference gradient with one batched,
+    #: vectorized objective evaluation instead of scipy's per-variable scalar
+    #: loop.  The batched gradient reproduces scipy's 2-point scheme (step
+    #: construction, bound adjustment, difference quotient) bitwise, so the
+    #: solver trajectory — and therefore the resulting schedule — is
+    #: unchanged; it is automatically disabled for processors the vectorized
+    #: evaluation does not support (non-linear delay laws).
+    vectorized_jacobian: bool = True
 
 
 @dataclass
@@ -122,6 +130,41 @@ class ReducedNLP:
         self._n_vars = self._n_subs + self._n_budget_vars
         self._actual_cycles = self._build_actual_cycles()
 
+        # Vectorized unpack: sub index of every budget variable (in variable
+        # order) plus the fixed single-sub budgets as index/value arrays.
+        self._budget_var_subs = np.array(
+            sorted(self._budget_var_index, key=lambda i: self._budget_var_index[i]),
+            dtype=np.intp,
+        )
+        self._fixed_budget_subs = np.array(sorted(self._fixed_budget), dtype=np.intp)
+        self._fixed_budget_values = np.array(
+            [self._fixed_budget[i] for i in sorted(self._fixed_budget)], dtype=float,
+        )
+        self._budget_var_subs_list = self._budget_var_subs.tolist()
+        budget_template = [0.0] * self._n_subs
+        for sub_index, value in self._fixed_budget.items():
+            budget_template[sub_index] = value
+        self._budget_template = budget_template
+
+        # Compiled (batched) objective: one evaluator per workload scenario.
+        # Only linear-law processors vectorize bitwise; everything else keeps
+        # the reference evaluation path.
+        self._bounds_lower: Optional[np.ndarray] = None
+        self._bounds_upper: Optional[np.ndarray] = None
+        self._last_point: Optional[np.ndarray] = None
+        self._last_value: float = 0.0
+        self._compiled: Optional[List[Tuple[float, CompiledEvaluation]]] = None
+        if CompiledEvaluation.supported(self.processor):
+            if self.scenarios is not None:
+                self._compiled = [
+                    (weight, CompiledEvaluation(self.expansion, self.processor, actual))
+                    for weight, actual in self.scenarios
+                ]
+            else:
+                self._compiled = [
+                    (1.0, CompiledEvaluation(self.expansion, self.processor, self._actual_cycles))
+                ]
+
     # ------------------------------------------------------------------ #
     # Variable packing
     # ------------------------------------------------------------------ #
@@ -144,18 +187,56 @@ class ReducedNLP:
 
     def unpack(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Expand the optimisation vector into full end-time/budget vectors."""
+        x = np.asarray(x, dtype=float)
         end_times = np.asarray(x[: self._n_subs], dtype=float)
         budgets = np.zeros(self._n_subs)
-        for sub_index, var_index in self._budget_var_index.items():
-            budgets[sub_index] = x[self._n_subs + var_index]
-        for sub_index, value in self._fixed_budget.items():
-            budgets[sub_index] = value
+        budgets[self._budget_var_subs] = x[self._n_subs:]
+        budgets[self._fixed_budget_subs] = self._fixed_budget_values
+        return end_times, budgets
+
+    def _unpack_batch(self, x_columns: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Column-wise :meth:`unpack` of a ``(n_vars, K)`` matrix."""
+        end_times = x_columns[: self._n_subs]
+        budgets = np.zeros((self._n_subs, x_columns.shape[1]))
+        budgets[self._budget_var_subs] = x_columns[self._n_subs:]
+        budgets[self._fixed_budget_subs] = self._fixed_budget_values[:, None]
         return end_times, budgets
 
     # ------------------------------------------------------------------ #
     # Objective and constraints
     # ------------------------------------------------------------------ #
     def objective(self, x: np.ndarray) -> float:
+        """Average-case energy of the candidate schedule ``x``.
+
+        Dispatches to the compiled scalar evaluation when the processor
+        supports it (bitwise-identical to the reference evaluation; see
+        :class:`~repro.offline.evaluation.CompiledEvaluation`), otherwise to
+        :meth:`objective_reference`.
+        """
+        if self._compiled is not None:
+            values = np.asarray(x, dtype=float).tolist()
+            n_subs = self._n_subs
+            end_times = values[:n_subs]
+            budgets = self._budget_template.copy()
+            for position, sub_index in enumerate(self._budget_var_subs_list):
+                budgets[sub_index] = values[n_subs + position]
+            if self.scenarios is not None:
+                total_weight = sum(weight for weight, _ in self.scenarios)
+                energy = 0.0
+                for weight, evaluator in self._compiled:
+                    energy += weight * evaluator.energy_from_lists(end_times, budgets)
+                energy /= total_weight
+            else:
+                energy = self._compiled[0][1].energy_from_lists(end_times, budgets)
+            # Memoize the last point: the solver evaluates the objective and
+            # then the gradient at the same x, and the gradient needs f0.
+            self._last_point = np.array(values)
+            self._last_value = energy
+            return energy
+        return self.objective_reference(x)
+
+    def objective_reference(self, x: np.ndarray) -> float:
+        """The uncompiled objective (kept as the equivalence oracle)."""
         end_times, budgets = self.unpack(x)
         if self.scenarios is not None:
             total_weight = sum(weight for weight, _ in self.scenarios)
@@ -172,6 +253,76 @@ class ReducedNLP:
             self._actual_cycles, collect_details=False,
         )
         return outcome.energy
+
+    def objective_batch(self, x_columns: np.ndarray) -> np.ndarray:
+        """Objective of many candidate vectors at once (``(n_vars, K)`` → ``(K,)``).
+
+        Requires the compiled evaluation (linear-law processor); each element
+        is bitwise-equal to :meth:`objective` of the corresponding column.
+        """
+        if self._compiled is None:
+            raise SchedulingError(
+                "objective_batch requires the compiled evaluation (linear-law processor)"
+            )
+        end_times, budgets = self._unpack_batch(np.asarray(x_columns, dtype=float))
+        if self.scenarios is not None:
+            total_weight = sum(weight for weight, _ in self.scenarios)
+            energy = np.zeros(end_times.shape[1])
+            for weight, evaluator in self._compiled:
+                energy += weight * evaluator.energies(end_times, budgets)
+            return energy / total_weight
+        return self._compiled[0][1].energies(end_times, budgets)
+
+    def jacobian(self, x: np.ndarray) -> np.ndarray:
+        """Forward-difference gradient, computed in one batched evaluation.
+
+        Reproduces scipy's 2-point finite-difference scheme — absolute step
+        ``options.finite_difference_step``, the zero-step relative fallback,
+        the one-sided bound adjustment of ``_adjust_scheme_to_bounds`` and the
+        exact difference quotient — bitwise, so handing this to the solver
+        instead of letting it difference :meth:`objective` itself changes the
+        wall-clock cost (one vectorized pass instead of ``n_vars`` scalar
+        evaluations) but not a single bit of the solver trajectory.  The
+        replication is pinned by a test against
+        ``scipy.optimize._numdiff.approx_derivative``.
+        """
+        x0 = np.asarray(x, dtype=float)
+        if self._last_point is not None and np.array_equal(x0, self._last_point):
+            f0 = self._last_value
+        else:
+            f0 = self.objective(x0)
+        n_vars = self._n_vars
+        step = np.full(n_vars, self.options.finite_difference_step, dtype=float)
+        representable = (x0 + step) - x0
+        if not representable.all():
+            # Absolute step vanished against a huge |x|: scipy falls back to a
+            # signed relative step; replicate it exactly.
+            sign_x0 = (x0 >= 0).astype(float) * 2 - 1
+            fallback = np.sqrt(np.finfo(np.float64).eps) * sign_x0 * np.maximum(1.0, np.abs(x0))
+            step = np.where(representable == 0, fallback, step)
+
+        if self._bounds_lower is None:
+            bounds = self.bounds()
+            self._bounds_lower = np.array([low for low, _ in bounds], dtype=float)
+            self._bounds_upper = np.array([high for _, high in bounds], dtype=float)
+        lower_dist = x0 - self._bounds_lower
+        upper_dist = self._bounds_upper - x0
+        probe = x0 + step
+        violated = (probe < self._bounds_lower) | (probe > self._bounds_upper)
+        fitting = np.abs(step) <= np.maximum(lower_dist, upper_dist)
+        step = step.copy()
+        step[violated & fitting] *= -1
+        forward = (upper_dist >= lower_dist) & ~fitting
+        step[forward] = upper_dist[forward]
+        backward = (upper_dist < lower_dist) & ~fitting
+        step[backward] = -lower_dist[backward]
+
+        columns = np.repeat(x0[:, None], n_vars, axis=1)
+        diagonal = np.arange(n_vars)
+        columns[diagonal, diagonal] = x0 + step
+        values = self.objective_batch(columns)
+        dx = (x0 + step) - x0
+        return (values - f0) / dx
 
     def bounds(self) -> List[Tuple[float, float]]:
         subs = self.expansion.sub_instances
@@ -267,10 +418,19 @@ class ReducedNLP:
         ``metadata["fallback"]``.
         """
         start = self.initial_guess() if x0 is None else np.asarray(x0, dtype=float)
+        # The batched jacobian replays scipy's own finite-difference scheme
+        # bitwise (see :meth:`jacobian`), so the solver trajectory is
+        # identical with or without it — only the wall-clock changes.
+        use_vectorized_jacobian = (
+            self._compiled is not None
+            and self.options.vectorized_jacobian
+            and self.options.method == "SLSQP"
+        )
         result = optimize.minimize(
             self.objective,
             start,
             method=self.options.method,
+            jac=self.jacobian if use_vectorized_jacobian else None,
             bounds=self.bounds(),
             constraints=self.linear_constraints(),
             options={

@@ -81,6 +81,10 @@ class StaticSchedule:
     method: str = "unspecified"
     objective_value: Optional[float] = None
     metadata: Dict[str, object] = field(default_factory=dict)
+    _entry_index: Optional[Dict[str, ScheduledSubInstance]] = field(
+        init=False, repr=False, compare=False, default=None)
+    _instance_index: Optional[Dict[str, List[ScheduledSubInstance]]] = field(
+        init=False, repr=False, compare=False, default=None)
 
     def __post_init__(self) -> None:
         if len(self.entries) != len(self.expansion.sub_instances):
@@ -104,16 +108,22 @@ class StaticSchedule:
 
     def entries_for_instance(self, instance: TaskInstance) -> List[ScheduledSubInstance]:
         """Entries of one job, in sub-index order."""
-        return sorted(
-            (e for e in self.entries if e.instance.key == instance.key),
-            key=lambda e: e.sub.sub_index,
-        )
+        if self._instance_index is None:
+            grouped: Dict[str, List[ScheduledSubInstance]] = {}
+            for entry in self.entries:
+                grouped.setdefault(entry.instance.key, []).append(entry)
+            for entries in grouped.values():
+                entries.sort(key=lambda e: e.sub.sub_index)
+            self._instance_index = grouped
+        return list(self._instance_index.get(instance.key, []))
 
     def entry_by_key(self, key: str) -> ScheduledSubInstance:
-        for entry in self.entries:
-            if entry.key == key:
-                return entry
-        raise KeyError(key)
+        if self._entry_index is None:
+            self._entry_index = {entry.key: entry for entry in self.entries}
+        try:
+            return self._entry_index[key]
+        except KeyError:
+            raise KeyError(key) from None
 
     def end_times(self) -> List[float]:
         """End-times in total order."""

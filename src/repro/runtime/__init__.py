@@ -1,5 +1,6 @@
 """Online DVS runtime: discrete-event simulator, pluggable policies, result records."""
 
+from .compiled import CompiledRunner, CompiledSchedule, planned_frequency_array
 from .policies import (
     DVSPolicy,
     GreedySlackPolicy,
@@ -17,6 +18,9 @@ from .results import DeadlineMiss, SimulationResult, improvement_percent
 from .simulator import DVSSimulator, SimulationConfig
 
 __all__ = [
+    "CompiledRunner",
+    "CompiledSchedule",
+    "planned_frequency_array",
     "DVSSimulator",
     "SimulationConfig",
     "SimulationResult",

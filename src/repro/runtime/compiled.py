@@ -1,0 +1,421 @@
+"""Compiled-schedule fast path of the runtime simulator.
+
+The discrete-event loop in :mod:`repro.runtime.simulator` is the dominant cost
+of the paper's Figure-6 sweeps (100 task sets × 1000 hyperperiods per point).
+The reference implementation re-derives identical per-hyperperiod state from
+scratch: it rescans ``schedule.entries`` once per job (O(entries × instances)),
+keys the planned frequencies and the per-task energies by *strings*, rebuilds
+the ``active``/``eligible`` lists and runs a ``min()`` scan over them on every
+dispatch event, and draws one scalar RNG sample per job.
+
+This module compiles a :class:`~repro.offline.schedule.StaticSchedule` once
+per :meth:`DVSSimulator.run` into flat, integer-indexed state:
+
+* entries pre-grouped per job with their budgets, planned end-times, slot
+  starts and planned worst-case frequencies as arrays (no string keys on the
+  hot path);
+* per-job state (remaining cycles, current sub-instance, budgets) that is
+  *reset* — not reconstructed — at every hyperperiod boundary;
+* the whole run's actual execution cycles drawn in a single
+  :meth:`~repro.workloads.distributions.WorkloadModel.sample_batch` call;
+* a priority-ordered ready heap (keyed on the precomputed rank of the job's
+  ``sort_key``) plus a throttled-job wake-up heap keyed on eligible time,
+  replacing the per-event list rebuilds and ``min()`` scans.
+
+**Determinism contract:** for the same schedule, workload model, generator
+state and configuration, the fast path produces *bitwise-identical*
+:class:`~repro.runtime.results.SimulationResult` values (total and per-
+hyperperiod energy, per-task energies, transition energy, deadline misses,
+timeline segments) and the same policy-hook call sequence as the reference
+event loop, which remains available via ``SimulationConfig(fast_path=False)``.
+The equivalence suite in ``tests/runtime/test_compiled_equivalence.py``
+enforces the contract across policies, workload models, discrete-voltage and
+transition-overhead configurations.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from ..core.errors import DeadlineMissError
+from ..core.timeline import ExecutionSegment, Timeline
+from ..offline.schedule import StaticSchedule
+from ..power.processor import ProcessorModel
+from .results import DeadlineMiss
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .policies import DVSPolicy
+    from .simulator import SimulationConfig
+
+__all__ = ["CompiledSchedule", "CompiledRunner", "planned_frequency_array"]
+
+_EPS = 1e-9
+
+
+def planned_frequency_array(schedule: StaticSchedule, processor: ProcessorModel) -> np.ndarray:
+    """Static worst-case frequency of every entry, indexed by total order.
+
+    This is the single source of the "planned frequency" the static-replay
+    policy runs at: the reference simulator's string-keyed dictionary and the
+    compiled per-job arrays are both views of this array, so the two paths can
+    never disagree.
+    """
+    frequencies = np.empty(len(schedule.entries), dtype=float)
+    previous_end = 0.0
+    for index, entry in enumerate(schedule.entries):
+        planned_start = max(previous_end, entry.sub.slot_start)
+        frequencies[index] = entry.planned_wc_speed(planned_start, processor)
+        previous_end = max(previous_end, entry.end_time)
+    return frequencies
+
+
+class CompiledSchedule:
+    """Integer-indexed view of a static schedule, built once per simulation run.
+
+    All per-entry quantities are grouped per job (replacing the
+    O(entries × instances) ``entries_for_instance`` scans) and exposed both as
+    NumPy arrays (``releases``, ``deadlines``, ``entry_budgets`` …) and as
+    plain-list mirrors used by the scalar event loop, where native floats are
+    faster than NumPy scalars.
+    """
+
+    def __init__(self, schedule: StaticSchedule, processor: ProcessorModel) -> None:
+        self.schedule = schedule
+        self.processor = processor
+        expansion = schedule.expansion
+        self.hyperperiod = expansion.horizon
+        self.instances = list(expansion.instances)
+        self.n_jobs = len(self.instances)
+
+        planned = planned_frequency_array(schedule, processor)
+        self.planned_frequencies = planned
+
+        releases: List[float] = []
+        deadlines: List[float] = []
+        final_end_times: List[float] = []
+        wc_totals: List[float] = []
+        first_budgets: List[float] = []
+        self.entry_budgets: List[List[float]] = []
+        self.entry_end_times: List[List[float]] = []
+        self.entry_slot_starts: List[List[float]] = []
+        self.entry_planned: List[List[float]] = []
+        self.entry_sub_indices: List[List[int]] = []
+        self.task_names: List[str] = []
+        self.job_indices: List[int] = []
+        self.ceffs: List[float] = []
+        self.wcecs: List[float] = []
+        self.tasks = [instance.task for instance in self.instances]
+
+        for instance in self.instances:
+            entries = schedule.entries_for_instance(instance)
+            budgets = [entry.wc_budget for entry in entries]
+            self.entry_budgets.append(budgets)
+            self.entry_end_times.append([entry.end_time for entry in entries])
+            self.entry_slot_starts.append([entry.sub.slot_start for entry in entries])
+            self.entry_planned.append([float(planned[entry.order]) for entry in entries])
+            self.entry_sub_indices.append([entry.sub.sub_index for entry in entries])
+            releases.append(instance.release)
+            deadlines.append(instance.deadline)
+            # Look-ahead horizon: the job's last planned sub-instance end-time.
+            final_end_times.append(entries[-1].end_time if entries
+                                   else instance.deadline)
+            wc_totals.append(sum(budgets))
+            first_budgets.append(budgets[0] if budgets else 0.0)
+            self.task_names.append(instance.task.name)
+            self.job_indices.append(instance.job_index)
+            self.ceffs.append(instance.task.ceff)
+            self.wcecs.append(instance.wcec)
+
+        self.releases = np.asarray(releases, dtype=float)
+        self.deadlines = np.asarray(deadlines, dtype=float)
+        self.final_end_times = np.asarray(final_end_times, dtype=float)
+        self.wc_totals = np.asarray(wc_totals, dtype=float)
+        self.first_budgets = np.asarray(first_budgets, dtype=float)
+        # Native-float mirrors for the event loop (indexing an ndarray boxes
+        # a NumPy scalar per access, which the hot path cannot afford).
+        self.release_list = releases
+        self.deadline_list = deadlines
+        self.final_end_list = final_end_times
+        self.wc_total_list = wc_totals
+        self.first_budget_list = first_budgets
+
+        # Rank of every job in the dispatcher's priority order: the heap then
+        # compares small integers instead of (priority, release, name, index)
+        # tuples.  sort_key is a strict total order (task name + job index are
+        # unique), so rank comparison selects exactly the job a min() scan
+        # over sort_key would.
+        order = sorted(
+            range(self.n_jobs),
+            key=lambda j: (self.instances[j].priority, releases[j],
+                           self.task_names[j], self.job_indices[j]),
+        )
+        self.rank_of_job = [0] * self.n_jobs
+        for rank, job in enumerate(order):
+            self.rank_of_job[job] = rank
+        self.job_of_rank = order
+
+        # Jobs in release order (stable, mirroring the reference's
+        # ``sorted(jobs, key=lambda j: j.release)``).
+        self.release_order = sorted(range(self.n_jobs), key=lambda j: releases[j])
+
+
+class CompiledRunner:
+    """Reusable per-run state for the compiled event loop.
+
+    Job state lives in flat lists that are reset in place at every
+    hyperperiod boundary instead of reallocating ``_JobState`` objects.
+    """
+
+    def __init__(self, compiled: CompiledSchedule, processor: ProcessorModel,
+                 policy: "DVSPolicy", config: "SimulationConfig") -> None:
+        self.compiled = compiled
+        self.processor = processor
+        self.policy = policy
+        self.config = config
+        n = compiled.n_jobs
+        self.actual = [0.0] * n
+        self.budget = [0.0] * n
+        self.wc_remaining = [0.0] * n
+        self.position = [0] * n
+        self.finished = [False] * n
+
+    def reset_hyperperiod(self, samples_row: np.ndarray) -> None:
+        """Reset the job state in place from one hyperperiod's workload draws."""
+        compiled = self.compiled
+        actual = self.actual
+        budget = self.budget
+        wc_remaining = self.wc_remaining
+        position = self.position
+        finished = self.finished
+        wcecs = compiled.wcecs
+        first_budgets = compiled.first_budget_list
+        wc_totals = compiled.wc_total_list
+        values = samples_row.tolist()
+        for job in range(compiled.n_jobs):
+            cycles = min(max(values[job], 0.0), wcecs[job])
+            actual[job] = cycles
+            budget[job] = first_budgets[job]
+            wc_remaining[job] = wc_totals[job]
+            position[job] = 0
+            finished[job] = cycles <= _EPS
+
+    def run_hyperperiod(self, offset: float, hp_index: int,
+                        energy_by_task: Dict[str, float],
+                        timeline: Optional[Timeline],
+                        misses: List[DeadlineMiss]):
+        """Simulate one hyperperiod; returns ``(energy, transition_energy)``.
+
+        Event-for-event equivalent to the reference
+        ``DVSSimulator._simulate_hyperperiod``: the ready heap pops exactly the
+        job the reference ``min()`` scan selects, and throttled jobs re-enter
+        through the wake-up heap at exactly the times the reference re-admits
+        them.
+        """
+        compiled = self.compiled
+        processor = self.processor
+        policy = self.policy
+        config = self.config
+
+        actual = self.actual
+        budget = self.budget
+        wc_remaining = self.wc_remaining
+        position = self.position
+        finished = self.finished
+
+        entry_budgets = compiled.entry_budgets
+        entry_end_times = compiled.entry_end_times
+        entry_slot_starts = compiled.entry_slot_starts
+        entry_planned = compiled.entry_planned
+        entry_sub_indices = compiled.entry_sub_indices
+        task_names = compiled.task_names
+        job_indices = compiled.job_indices
+        ceffs = compiled.ceffs
+        rank_of_job = compiled.rank_of_job
+        job_of_rank = compiled.job_of_rank
+        release_order = compiled.release_order
+        n_jobs = compiled.n_jobs
+
+        release_abs = [release + offset for release in compiled.release_list]
+        deadline_abs = [deadline + offset for deadline in compiled.deadline_list]
+        final_end_abs = [end + offset for end in compiled.final_end_list]
+
+        frequency_from = policy.frequency_from
+        on_job_finish = policy.on_job_finish
+        voltage_for_frequency = processor.voltage_for_frequency
+        processor_frequency = processor.frequency
+        fmax = processor.fmax
+        vmax = processor.vmax
+        voltage_levels = config.voltage_levels
+        quantization = config.quantization
+        clip_voltage = processor.clip_voltage
+        transition_model = config.transition_model
+        transition_free = transition_model.is_free
+        raise_on_miss = config.on_deadline_miss == "raise"
+
+        energy = 0.0
+        transition_energy = 0.0
+        current_voltage: Optional[float] = None
+        time_now = offset
+        release_cursor = 0
+        ready: List[int] = []
+        throttled: List[tuple] = []
+
+        def eligible_time(job: int) -> float:
+            """Mirror of ``_JobState.current_entry`` + ``eligible_time``."""
+            pos = position[job]
+            b = budget[job]
+            budgets = entry_budgets[job]
+            last = len(budgets) - 1
+            while pos < last and b <= _EPS:
+                pos += 1
+                b = budgets[pos]
+            position[job] = pos
+            budget[job] = b
+            slot = entry_slot_starts[job][pos] + offset
+            release = release_abs[job]
+            return release if release >= slot else slot
+
+        def admit_releases(up_to: float) -> None:
+            nonlocal release_cursor
+            while release_cursor < n_jobs and \
+                    release_abs[release_order[release_cursor]] <= up_to + _EPS:
+                job = release_order[release_cursor]
+                release_cursor += 1
+                if finished[job]:
+                    continue
+                wake = eligible_time(job)
+                if wake <= time_now + _EPS:
+                    heappush(ready, rank_of_job[job])
+                else:
+                    heappush(throttled, (wake, rank_of_job[job]))
+
+        admit_releases(time_now)
+        while True:
+            admit_releases(time_now)
+            while throttled and throttled[0][0] <= time_now + _EPS:
+                heappush(ready, heappop(throttled)[1])
+            if not ready:
+                if not throttled:
+                    if release_cursor >= n_jobs:
+                        break
+                    # No runnable work at all: jump to the next release.
+                    time_now = max(time_now, release_abs[release_order[release_cursor]])
+                    admit_releases(time_now)
+                    continue
+                # Every released job is throttled until its next sub-instance
+                # slot opens; jump to the earliest such moment (or release).
+                wake_up = throttled[0][0]
+                if release_cursor < n_jobs:
+                    next_release = release_abs[release_order[release_cursor]]
+                    if next_release < wake_up:
+                        wake_up = next_release
+                time_now = max(time_now, wake_up)
+                continue
+
+            job = job_of_rank[heappop(ready)]
+            eligible_time(job)  # side effect only: advances past exhausted budgets
+            pos = position[job]
+            end_time_abs = entry_end_times[job][pos] + offset
+            frequency = frequency_from(
+                processor,
+                time_now,
+                end_time_abs,
+                budget[job],
+                entry_planned[job][pos],
+                wc_remaining[job],
+                deadline_abs[job],
+                final_end_abs[job],
+            )
+            voltage = voltage_for_frequency(frequency)
+            if voltage_levels is not None:
+                voltage = voltage_levels.quantize(voltage, quantization)
+                voltage = clip_voltage(voltage)
+            frequency = processor_frequency(voltage)
+
+            if current_voltage is not None and not transition_free:
+                transition_energy += transition_model.transition_energy(current_voltage, voltage)
+            current_voltage = voltage
+
+            next_release = None
+            if release_cursor < n_jobs:
+                next_release = release_abs[release_order[release_cursor]]
+            budget_cycles = max(min(budget[job], actual[job]), 0.0)
+            if budget_cycles <= _EPS:
+                last = len(entry_budgets[job]) - 1
+                if budget[job] <= _EPS and pos >= last:
+                    # Budgets exhausted but cycles remain (numerical fringe): finish at fmax.
+                    frequency = fmax
+                    voltage = vmax
+                    budget_cycles = actual[job]
+                else:
+                    # The current sub-instance has no usable budget; requeue and
+                    # let the next selection advance the bookkeeping.
+                    wake = eligible_time(job)
+                    if wake <= time_now + _EPS:
+                        heappush(ready, rank_of_job[job])
+                    else:
+                        heappush(throttled, (wake, rank_of_job[job]))
+                    continue
+            duration = budget_cycles / frequency
+            preempted = False
+            if next_release is not None and next_release - time_now < duration - _EPS:
+                duration = max(next_release - time_now, 0.0)
+                preempted = True
+
+            cycles = duration * frequency
+            segment_energy = cycles * ((ceffs[job] * voltage) * voltage)
+            energy += segment_energy
+            task_name = task_names[job]
+            energy_by_task[task_name] = energy_by_task.get(task_name, 0.0) + segment_energy
+            if timeline is not None and duration > 0:
+                timeline.append(ExecutionSegment(
+                    task_name=task_name,
+                    job_index=job_indices[job],
+                    sub_index=entry_sub_indices[job][pos],
+                    start=time_now,
+                    end=time_now + duration,
+                    frequency=frequency,
+                    voltage=voltage,
+                    cycles=cycles,
+                    energy=segment_energy,
+                ))
+
+            time_now += duration
+            actual[job] = max(actual[job] - cycles, 0.0)
+            budget[job] = max(budget[job] - cycles, 0.0)
+            wc_remaining[job] = max(wc_remaining[job] - cycles, 0.0)
+
+            if actual[job] <= _EPS:
+                finished[job] = True
+                deadline = deadline_abs[job]
+                on_job_finish(task_name, job_indices[job], time_now, deadline)
+                if time_now > deadline + 1e-6 * max(1.0, deadline):
+                    if raise_on_miss:
+                        raise DeadlineMissError(
+                            f"job {task_name}[{job_indices[job]}] missed its deadline "
+                            f"({time_now:.6g} > {deadline:.6g})",
+                            task=task_name,
+                            job_index=job_indices[job],
+                            deadline=deadline,
+                            finish_time=time_now,
+                        )
+                    misses.append(DeadlineMiss(
+                        task_name=task_name,
+                        job_index=job_indices[job],
+                        hyperperiod_index=hp_index,
+                        deadline=deadline,
+                        finish_time=time_now,
+                    ))
+            else:
+                wake = eligible_time(job)
+                if wake <= time_now + _EPS:
+                    heappush(ready, rank_of_job[job])
+                else:
+                    heappush(throttled, (wake, rank_of_job[job]))
+            if preempted:
+                admit_releases(time_now)
+
+        return energy, transition_energy

@@ -29,6 +29,7 @@ from ..power.processor import ProcessorModel
 from ..power.transition import TransitionModel
 from ..power.voltage import VoltageLevels
 from ..workloads.distributions import WorkloadModel, NormalWorkload
+from .compiled import CompiledRunner, CompiledSchedule, planned_frequency_array
 from .policies import DVSPolicy, GreedySlackPolicy, SpeedRequest, get_policy
 from .results import DeadlineMiss, SimulationResult
 
@@ -59,6 +60,11 @@ class SimulationConfig:
         When given, requested voltages are quantised to this discrete set.
     quantization:
         Quantisation policy (``"ceiling"`` keeps worst-case guarantees).
+    fast_path:
+        Run the compiled event loop of :mod:`repro.runtime.compiled`
+        (default).  The reference loop is retained behind ``False`` for
+        debugging and for the bitwise-equivalence suite; both paths produce
+        identical results for identical seeds.
     """
 
     n_hyperperiods: int = 1
@@ -68,6 +74,7 @@ class SimulationConfig:
     transition_model: TransitionModel = field(default_factory=TransitionModel.ideal)
     voltage_levels: Optional[VoltageLevels] = None
     quantization: str = "ceiling"
+    fast_path: bool = True
 
     def __post_init__(self) -> None:
         if self.n_hyperperiods <= 0:
@@ -149,10 +156,69 @@ class DVSSimulator:
     # ------------------------------------------------------------------ #
     def run(self, schedule: StaticSchedule, workload: Optional[WorkloadModel] = None,
             rng: Optional[np.random.Generator] = None) -> SimulationResult:
-        """Simulate ``schedule`` under ``workload`` for the configured number of hyperperiods."""
+        """Simulate ``schedule`` under ``workload`` for the configured number of hyperperiods.
+
+        By default this executes the compiled fast path of
+        :mod:`repro.runtime.compiled`; ``SimulationConfig(fast_path=False)``
+        selects the reference event loop.  Both produce bitwise-identical
+        results for the same generator state.
+        """
         workload_model = workload if workload is not None else NormalWorkload()
         generator = rng if rng is not None else np.random.default_rng(self.config.seed)
+        if self.config.fast_path:
+            return self._run_compiled(schedule, workload_model, generator)
+        return self._run_reference(schedule, workload_model, generator)
 
+    # ------------------------------------------------------------------ #
+    # Compiled fast path
+    # ------------------------------------------------------------------ #
+    def _run_compiled(self, schedule: StaticSchedule, workload_model: WorkloadModel,
+                      generator: np.random.Generator) -> SimulationResult:
+        compiled = CompiledSchedule(schedule, self.processor)
+        runner = CompiledRunner(compiled, self.processor, self.policy, self.config)
+        hyperperiod = compiled.hyperperiod
+        n_hyperperiods = self.config.n_hyperperiods
+
+        # One batched draw for the whole run: row i holds hyperperiod i's
+        # actual cycles, consumed from the generator in exactly the order the
+        # reference path's per-job scalar draws would be.
+        samples = workload_model.sample_batch(generator, compiled.tasks, n_hyperperiods)
+
+        timeline = Timeline() if self.config.record_timeline else None
+        energy_per_hyperperiod: List[float] = []
+        energy_by_task: Dict[str, float] = {}
+        misses: List[DeadlineMiss] = []
+        transition_energy_total = 0.0
+
+        self.policy.on_simulation_start(schedule, self.processor)
+        for hp_index in range(n_hyperperiods):
+            offset = hp_index * hyperperiod
+            self.policy.on_hyperperiod_start(hp_index, offset)
+            runner.reset_hyperperiod(samples[hp_index])
+            hp_energy, hp_transition_energy = runner.run_hyperperiod(
+                offset, hp_index, energy_by_task, timeline, misses,
+            )
+            energy_per_hyperperiod.append(hp_energy)
+            transition_energy_total += hp_transition_energy
+
+        return SimulationResult(
+            method=schedule.method,
+            policy=self.policy.name,
+            n_hyperperiods=n_hyperperiods,
+            total_energy=float(sum(energy_per_hyperperiod)),
+            energy_per_hyperperiod=energy_per_hyperperiod,
+            transition_energy=transition_energy_total,
+            energy_by_task=energy_by_task,
+            deadline_misses=misses,
+            jobs_completed=compiled.n_jobs * n_hyperperiods,
+            timeline=timeline,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Reference event loop (fast_path=False; the bitwise-equivalence oracle)
+    # ------------------------------------------------------------------ #
+    def _run_reference(self, schedule: StaticSchedule, workload_model: WorkloadModel,
+                       generator: np.random.Generator) -> SimulationResult:
         expansion = schedule.expansion
         hyperperiod = expansion.horizon
         planned_frequencies = self._planned_frequencies(schedule)
@@ -195,13 +261,11 @@ class DVSSimulator:
     # ------------------------------------------------------------------ #
     def _planned_frequencies(self, schedule: StaticSchedule) -> Dict[str, float]:
         """Static worst-case frequency of every sub-instance (for the no-reclamation policy)."""
-        frequencies: Dict[str, float] = {}
-        previous_end = 0.0
-        for entry in schedule.entries:
-            planned_start = max(previous_end, entry.sub.slot_start)
-            frequencies[entry.key] = entry.planned_wc_speed(planned_start, self.processor)
-            previous_end = max(previous_end, entry.end_time)
-        return frequencies
+        planned = planned_frequency_array(schedule, self.processor)
+        return {
+            entry.key: float(planned[index])
+            for index, entry in enumerate(schedule.entries)
+        }
 
     def _build_jobs(self, schedule: StaticSchedule, workload_model: WorkloadModel,
                     rng: np.random.Generator, offset: float) -> List[_JobState]:
@@ -218,7 +282,6 @@ class DVSSimulator:
                               energy_by_task: Dict[str, float],
                               timeline: Optional[Timeline],
                               misses: List[DeadlineMiss], hp_index: int):
-        release_times = sorted({job.release for job in jobs})
         energy = 0.0
         transition_energy = 0.0
         current_voltage: Optional[float] = None

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -39,6 +40,32 @@ class WorkloadModel(ABC):
     @abstractmethod
     def sample(self, rng: np.random.Generator, task: Task) -> float:
         """Return the cycles the next job of ``task`` actually requires (within [BCEC, WCEC])."""
+
+    def sample_batch(self, rng: np.random.Generator, tasks: Sequence[Task],
+                     n: int = 1) -> np.ndarray:
+        """Draw the actual cycles of ``n`` consecutive hyperperiods in one call.
+
+        Returns an ``(n, len(tasks))`` array whose row ``i`` holds the draws of
+        hyperperiod ``i``, one per task in ``tasks`` (one entry per *job*: the
+        caller passes the per-job task list of the hyperperiod, in job order).
+
+        **Determinism contract:** the draws consume the generator stream in
+        exactly the order of the nested scalar loops ``for i in range(n): for
+        task in tasks: sample(rng, task)`` and produce bitwise-identical
+        values, so a batched caller and a per-job caller starting from the
+        same generator state obtain the same realisations and leave the
+        generator in the same state.  Vectorized overrides must preserve this
+        (see the tests in ``tests/workloads/test_distributions.py``).
+
+        The base implementation is the scalar loop itself, which satisfies the
+        contract by construction; subclasses override it with vectorized draws
+        when the distribution allows.
+        """
+        out = np.empty((n, len(tasks)), dtype=float)
+        for row in range(n):
+            for column, task in enumerate(tasks):
+                out[row, column] = self.sample(rng, task)
+        return out
 
     def expected(self, task: Task) -> float:
         """Expected cycles per job (defaults to the task's ACEC)."""
@@ -73,6 +100,22 @@ class NormalWorkload(WorkloadModel):
         value = rng.normal(mean, sigma)
         return float(np.clip(value, task.bcec, task.wcec))
 
+    def sample_batch(self, rng: np.random.Generator, tasks: Sequence[Task],
+                     n: int = 1) -> np.ndarray:
+        wcec = np.array([task.wcec for task in tasks], dtype=float)
+        bcec = np.array([task.bcec for task in tasks], dtype=float)
+        acec = np.array([task.acec for task in tasks], dtype=float)
+        span = wcec - bcec
+        drawn = span > 0
+        out = np.empty((n, len(tasks)), dtype=float)
+        # Degenerate tasks consume no randomness, exactly like the scalar path.
+        out[:, ~drawn] = wcec[~drawn]
+        if drawn.any():
+            draws = rng.normal(acec[drawn], self.sigma_fraction * span[drawn],
+                               size=(n, int(drawn.sum())))
+            out[:, drawn] = np.clip(draws, bcec[drawn], wcec[drawn])
+        return out
+
 
 @dataclass
 class UniformWorkload(WorkloadModel):
@@ -84,6 +127,18 @@ class UniformWorkload(WorkloadModel):
         if task.wcec <= task.bcec:
             return task.wcec
         return float(rng.uniform(task.bcec, task.wcec))
+
+    def sample_batch(self, rng: np.random.Generator, tasks: Sequence[Task],
+                     n: int = 1) -> np.ndarray:
+        wcec = np.array([task.wcec for task in tasks], dtype=float)
+        bcec = np.array([task.bcec for task in tasks], dtype=float)
+        drawn = wcec > bcec
+        out = np.empty((n, len(tasks)), dtype=float)
+        out[:, ~drawn] = wcec[~drawn]
+        if drawn.any():
+            out[:, drawn] = rng.uniform(bcec[drawn], wcec[drawn],
+                                        size=(n, int(drawn.sum())))
+        return out
 
     def expected(self, task: Task) -> float:
         return 0.5 * (task.bcec + task.wcec)
@@ -106,6 +161,11 @@ class FixedWorkload(WorkloadModel):
 
     def sample(self, rng: np.random.Generator, task: Task) -> float:
         return {"acec": task.acec, "bcec": task.bcec, "wcec": task.wcec}[self.mode]
+
+    def sample_batch(self, rng: np.random.Generator, tasks: Sequence[Task],
+                     n: int = 1) -> np.ndarray:
+        values = np.array([self.sample(rng, task) for task in tasks], dtype=float)
+        return np.tile(values, (n, 1))
 
     def expected(self, task: Task) -> float:
         return {"acec": task.acec, "bcec": task.bcec, "wcec": task.wcec}[self.mode]
@@ -137,6 +197,34 @@ class BimodalWorkload(WorkloadModel):
         span = task.wcec - task.bcec
         jitter = rng.uniform(0.0, self.jitter_fraction * span) if span > 0 else 0.0
         return float(min(task.bcec + jitter, task.wcec))
+
+    def sample_batch(self, rng: np.random.Generator, tasks: Sequence[Task],
+                     n: int = 1) -> np.ndarray:
+        """Batched draws with the scalar stream order preserved.
+
+        Whether a job consumes a jitter draw depends on the outcome of its own
+        burst draw, so the stream cannot be split into one burst block and one
+        jitter block: the draws must stay interleaved — burst draw, then
+        jitter draw, job by job — or batched results would diverge from the
+        per-job path and break the serial/parallel equivalence guarantees.
+        The override therefore keeps the per-job loop and only hoists the
+        per-task constants out of it.
+        """
+        stats = [(task.wcec, task.bcec, task.wcec - task.bcec) for task in tasks]
+        burst_probability = self.burst_probability
+        jitter_fraction = self.jitter_fraction
+        random = rng.random
+        uniform = rng.uniform
+        out = np.empty((n, len(tasks)), dtype=float)
+        for row in range(n):
+            values = out[row]
+            for column, (wcec, bcec, span) in enumerate(stats):
+                if random() < burst_probability:
+                    values[column] = wcec
+                else:
+                    jitter = uniform(0.0, jitter_fraction * span) if span > 0 else 0.0
+                    values[column] = min(bcec + jitter, wcec)
+        return out
 
     def expected(self, task: Task) -> float:
         span = task.wcec - task.bcec

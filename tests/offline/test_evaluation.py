@@ -1,5 +1,6 @@
 """Tests for the analytic (total-order) schedule evaluation."""
 
+import numpy as np
 import pytest
 
 from repro.analysis.preemption import expand_fully_preemptive
@@ -7,6 +8,7 @@ from repro.core.errors import SchedulingError
 from repro.core.task import Task
 from repro.core.taskset import TaskSet
 from repro.offline.evaluation import (
+    CompiledEvaluation,
     average_case_energy,
     evaluate_schedule,
     evaluate_vectors,
@@ -84,3 +86,83 @@ class TestVectorsInterface:
         end_times, budgets = worst_case_simulation_vectors(expansion, processor)
         schedule = StaticSchedule.from_vectors(expansion, end_times, budgets)
         assert average_case_energy(schedule, processor) <= worst_case_energy(schedule, processor) + 1e-9
+
+
+class TestCompiledEvaluation:
+    """The compiled evaluator must equal evaluate_vectors bit for bit."""
+
+    @staticmethod
+    def _expansion(processor):
+        taskset = TaskSet([
+            Task("hi", period=10, wcec=1800, acec=1000, bcec=300),
+            Task("mid", period=20, wcec=4200, acec=2400, bcec=900),
+            Task("lo", period=40, wcec=9000, acec=5000, bcec=1500),
+        ])
+        return expand_fully_preemptive(taskset)
+
+    @staticmethod
+    def _random_vectors(expansion, rng):
+        ends = np.array([
+            sub.slot_start + rng.uniform(0.0, sub.slot_length)
+            for sub in expansion.sub_instances
+        ])
+        budgets = np.array([
+            rng.uniform(-10.0, 0.5 * sub.instance.wcec)
+            for sub in expansion.sub_instances
+        ])
+        return ends, budgets
+
+    def test_scalar_energy_bitwise(self, processor):
+        expansion = self._expansion(processor)
+        compiled = CompiledEvaluation(expansion, processor)
+        rng = np.random.default_rng(42)
+        for _ in range(25):
+            ends, budgets = self._random_vectors(expansion, rng)
+            reference = evaluate_vectors(
+                expansion, ends, budgets, processor, collect_details=False).energy
+            assert compiled.energy(ends, budgets) == reference
+
+    def test_batched_energies_bitwise(self, processor):
+        expansion = self._expansion(processor)
+        compiled = CompiledEvaluation(expansion, processor)
+        rng = np.random.default_rng(43)
+        n_subs = len(expansion.sub_instances)
+        columns = 17
+        end_matrix = np.empty((n_subs, columns))
+        budget_matrix = np.empty((n_subs, columns))
+        for column in range(columns):
+            ends, budgets = self._random_vectors(expansion, rng)
+            end_matrix[:, column] = ends
+            budget_matrix[:, column] = budgets
+        # Degenerate columns: end-times at the slot start (no available time)
+        # and all-zero budgets.
+        end_matrix[:, 0] = [sub.slot_start for sub in expansion.sub_instances]
+        budget_matrix[:, 1] = 0.0
+        batch = compiled.energies(end_matrix, budget_matrix)
+        for column in range(columns):
+            reference = evaluate_vectors(
+                expansion, end_matrix[:, column], budget_matrix[:, column],
+                processor, collect_details=False).energy
+            assert batch[column] == reference
+
+    def test_actual_cycles_mapping_respected(self, processor):
+        expansion = self._expansion(processor)
+        actual = {inst.key: inst.wcec for inst in expansion.instances}
+        compiled = CompiledEvaluation(expansion, processor, actual)
+        rng = np.random.default_rng(44)
+        ends, budgets = self._random_vectors(expansion, rng)
+        reference = evaluate_vectors(
+            expansion, ends, budgets, processor, actual, collect_details=False).energy
+        assert compiled.energy(ends, budgets) == reference
+
+    def test_cmos_law_rejected(self, cmos):
+        expansion = self._expansion(cmos)
+        assert not CompiledEvaluation.supported(cmos)
+        with pytest.raises(SchedulingError):
+            CompiledEvaluation(expansion, cmos)
+
+    def test_shape_mismatch_rejected(self, processor):
+        expansion = self._expansion(processor)
+        compiled = CompiledEvaluation(expansion, processor)
+        with pytest.raises(SchedulingError):
+            compiled.energies(np.zeros((2, 3)), np.zeros((2, 3)))

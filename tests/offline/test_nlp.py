@@ -155,3 +155,61 @@ class TestRepair:
         # the higher-priority 3 ms remain → infeasible at fmax=1000? (7 ms × 1000 = 7000 < 8000)
         repaired = nlp._repair(np.array(end_times), np.array(budgets))
         assert repaired is None
+
+
+class TestVectorizedJacobian:
+    """The batched gradient must replay scipy's finite differences bitwise."""
+
+    @staticmethod
+    def _bounds_arrays(nlp):
+        bounds = nlp.bounds()
+        return (np.array([low for low, _ in bounds]),
+                np.array([high for _, high in bounds]))
+
+    def test_objective_dispatch_bitwise(self, three_task_set, processor):
+        expansion = expand_fully_preemptive(three_task_set)
+        nlp = ReducedNLP(expansion, processor)
+        lower, upper = self._bounds_arrays(nlp)
+        rng = np.random.default_rng(5)
+        for _ in range(20):
+            x = lower + rng.uniform(0.0, 1.0, len(lower)) * (upper - lower)
+            assert nlp.objective(x) == nlp.objective_reference(x)
+
+    def test_jacobian_matches_scipy_bitwise(self, three_task_set, processor):
+        from scipy.optimize._numdiff import approx_derivative
+
+        expansion = expand_fully_preemptive(three_task_set)
+        nlp = ReducedNLP(expansion, processor)
+        lower, upper = self._bounds_arrays(nlp)
+        rng = np.random.default_rng(6)
+        points = [lower + rng.uniform(0.0, 1.0, len(lower)) * (upper - lower)
+                  for _ in range(10)]
+        points.append(lower.copy())   # on the lower bounds: backward steps
+        points.append(upper.copy())   # on the upper bounds: sign flips
+        for x in points:
+            expected = approx_derivative(
+                nlp.objective_reference, x, method="2-point",
+                abs_step=nlp.options.finite_difference_step,
+                bounds=(lower, upper),
+            )
+            assert np.array_equal(nlp.jacobian(x), expected)
+
+    def test_solve_identical_with_and_without_jacobian(self, three_task_set, processor):
+        expansion = expand_fully_preemptive(three_task_set)
+        fast = ReducedNLP(expansion, processor,
+                          options=SolverOptions(maxiter=60)).solve()
+        slow = ReducedNLP(expansion, processor,
+                          options=SolverOptions(maxiter=60,
+                                                vectorized_jacobian=False)).solve()
+        assert fast.end_times() == slow.end_times()
+        assert fast.wc_budgets() == slow.wc_budgets()
+        assert fast.objective_value == slow.objective_value
+        assert fast.metadata["solver_iterations"] == slow.metadata["solver_iterations"]
+        assert fast.metadata["solver_status"] == slow.metadata["solver_status"]
+
+    def test_cmos_processor_falls_back_to_scipy(self, three_task_set, cmos):
+        expansion = expand_fully_preemptive(three_task_set)
+        nlp = ReducedNLP(expansion, cmos, options=SolverOptions(maxiter=25))
+        assert nlp._compiled is None
+        schedule = nlp.solve()
+        schedule.validate(cmos)

@@ -121,3 +121,74 @@ class TestPropertyBased:
         for _ in range(10):
             sample = model.sample(rng, task)
             assert task.bcec - 1e-6 <= sample <= task.wcec + 1e-6
+
+
+class TestSampleBatch:
+    """The batched sampling API must be bitwise stream-compatible with the
+    scalar per-job draws (the compiled simulator relies on it)."""
+
+    MODELS = [
+        NormalWorkload(),
+        UniformWorkload(),
+        FixedWorkload(mode="wcec"),
+        BimodalWorkload(burst_probability=0.4),
+    ]
+
+    @staticmethod
+    def job_tasks():
+        return [
+            Task("a", period=10, wcec=100, acec=60, bcec=20),
+            Task("b", period=20, wcec=50, acec=50, bcec=50),  # degenerate span
+            Task("c", period=40, wcec=500, acec=300, bcec=100),
+            Task("a", period=10, wcec=100, acec=60, bcec=20),
+        ]
+
+    @pytest.mark.parametrize("model", MODELS, ids=lambda m: m.name)
+    def test_bitwise_equals_scalar_loop(self, model):
+        tasks = self.job_tasks()
+        batch_rng = np.random.default_rng(321)
+        scalar_rng = np.random.default_rng(321)
+        batch = model.sample_batch(batch_rng, tasks, n=9)
+        scalar = np.array([[model.sample(scalar_rng, task) for task in tasks]
+                           for _ in range(9)])
+        assert batch.shape == (9, len(tasks))
+        assert np.array_equal(batch, scalar)
+
+    @pytest.mark.parametrize("model", MODELS, ids=lambda m: m.name)
+    def test_generator_state_matches_scalar_loop(self, model):
+        tasks = self.job_tasks()
+        batch_rng = np.random.default_rng(7)
+        scalar_rng = np.random.default_rng(7)
+        model.sample_batch(batch_rng, tasks, n=5)
+        for _ in range(5):
+            for task in tasks:
+                model.sample(scalar_rng, task)
+        assert batch_rng.bit_generator.state == scalar_rng.bit_generator.state
+
+    def test_degenerate_tasks_consume_no_randomness(self):
+        fixed_span = [Task("b", period=20, wcec=50, acec=50, bcec=50)]
+        for model in (NormalWorkload(), UniformWorkload()):
+            rng = np.random.default_rng(1)
+            before = rng.bit_generator.state
+            batch = model.sample_batch(rng, fixed_span, n=4)
+            assert rng.bit_generator.state == before
+            assert np.all(batch == 50.0)
+
+    def test_empty_task_list(self):
+        rng = np.random.default_rng(0)
+        batch = NormalWorkload().sample_batch(rng, [], n=3)
+        assert batch.shape == (3, 0)
+
+    def test_bimodal_interleaves_burst_and_jitter_draws(self):
+        """A burst job consumes one draw, a jittered job two — in job order."""
+        task = Task("t", period=10, wcec=100, acec=60, bcec=20)
+        model = BimodalWorkload(burst_probability=0.5)
+        rng = np.random.default_rng(12345)
+        probe = np.random.default_rng(12345)
+        batch = model.sample_batch(rng, [task, task, task], n=2)
+        for value in batch.ravel():
+            if probe.random() < 0.5:
+                assert value == task.wcec
+            else:
+                jitter = probe.uniform(0.0, model.jitter_fraction * (task.wcec - task.bcec))
+                assert value == min(task.bcec + jitter, task.wcec)
