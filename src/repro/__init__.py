@@ -38,6 +38,15 @@ Quickstart::
     print(improvement_percent(wcs_energy, acs_energy))
 """
 
+from .allocation import (
+    MulticorePlan,
+    MulticoreProblem,
+    Partition,
+    Partitioner,
+    available_partitioners,
+    get_partitioner,
+    plan_multicore,
+)
 from .analysis import (
     FullyPreemptiveSchedule,
     breakdown_frequency,
@@ -81,6 +90,8 @@ from .runtime import (
     DVSSimulator,
     GreedySlackPolicy,
     LookaheadSlackPolicy,
+    MulticoreResult,
+    MulticoreRunner,
     NoReclamationPolicy,
     ProportionalSlackPolicy,
     SimulationConfig,
@@ -122,6 +133,14 @@ __all__ = [
     "response_times",
     "is_schedulable",
     "breakdown_frequency",
+    # allocation
+    "Partition",
+    "Partitioner",
+    "available_partitioners",
+    "get_partitioner",
+    "MulticoreProblem",
+    "MulticorePlan",
+    "plan_multicore",
     # power
     "ProcessorModel",
     "VoltageLevels",
@@ -144,6 +163,8 @@ __all__ = [
     "DVSSimulator",
     "SimulationConfig",
     "SimulationResult",
+    "MulticoreRunner",
+    "MulticoreResult",
     "DVSPolicy",
     "StaticReplayPolicy",
     "GreedySlackPolicy",

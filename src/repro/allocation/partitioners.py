@@ -1,0 +1,365 @@
+"""Task-to-core partitioning heuristics for partitioned multiprocessor DVS.
+
+Partitioned scheduling decomposes the multiprocessor problem into a
+*resource-allocation* step (assign every task to exactly one core) followed by
+``m`` independent single-core problems — the decomposition the offline NLP and
+the online runtime of this library already solve.  This module provides the
+allocation step: classical bin-packing heuristics over the task set, each
+behind the common :class:`Partitioner` interface, producing a validated
+:class:`Partition`.
+
+All heuristics place tasks in decreasing order of worst-case utilisation
+(``wcec / period`` — the standard "decreasing" variants, which carry the known
+approximation guarantees) and only ever place a task on a core whose resulting
+task set passes the full single-core feasibility test of
+:func:`repro.analysis.feasibility.check_feasibility` at maximum speed — the
+same precondition the per-core NLP requires.  They differ in *which* feasible
+core they pick:
+
+``ffd`` (first-fit decreasing)
+    the lowest-indexed feasible core — packs tightly, tends to leave later
+    cores empty;
+``bfd`` (best-fit decreasing)
+    the feasible core with the highest current utilisation — the classical
+    fragmentation-minimising packer;
+``wfd`` (worst-fit decreasing)
+    the feasible core with the lowest current utilisation — balances load,
+    which for DVS is usually the right call: slack is worth energy
+    *quadratically*, so spreading it evenly beats concentrating it;
+``energy``
+    like ``wfd`` but balances the *predicted average-case energy rate* of
+    each core instead of raw utilisation, using the same analytic evaluation
+    (:class:`~repro.offline.evaluation.CompiledEvaluation`) that drives the
+    offline NLP objective — it sees per-task ``ceff`` and ACEC where
+    utilisation only sees WCEC.
+
+Per-core priorities are inherited from the parent task set (each core's
+:class:`~repro.core.taskset.TaskSet` carries the parent's explicit priority
+values), so partitioning never reorders tasks relative to each other.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.feasibility import check_feasibility
+from ..analysis.preemption import expand_fully_preemptive
+from ..core.errors import AllocationError, InfeasibleTaskSetError
+from ..core.task import Task
+from ..core.taskset import TaskSet
+from ..offline.evaluation import CompiledEvaluation, evaluate_vectors
+from ..offline.initialization import proportional_budget_vectors
+from ..power.processor import ProcessorModel
+
+__all__ = [
+    "Partition",
+    "Partitioner",
+    "FirstFitDecreasingPartitioner",
+    "BestFitDecreasingPartitioner",
+    "WorstFitDecreasingPartitioner",
+    "EnergyAwarePartitioner",
+    "available_partitioners",
+    "get_partitioner",
+    "predicted_energy_rate",
+]
+
+
+def predicted_energy_rate(taskset: TaskSet, processor: ProcessorModel) -> float:
+    """Predicted average-case energy per time unit of ``taskset`` on one core.
+
+    Evaluates the analytic greedy propagation on the heuristic initial
+    schedule (:func:`~repro.offline.initialization.proportional_budget_vectors`)
+    — cheap enough to call inside a placement loop, yet sensitive to ``ceff``
+    and ACEC, which raw utilisation ignores.  The energy is normalised by the
+    hyperperiod so that cores whose task subsets have different hyperperiods
+    remain comparable.
+    """
+    expansion = expand_fully_preemptive(taskset)
+    end_times, budgets = proportional_budget_vectors(expansion, processor)
+    if CompiledEvaluation.supported(processor):
+        energy = CompiledEvaluation(expansion, processor).energy(end_times, budgets)
+    else:
+        energy = evaluate_vectors(expansion, end_times, budgets, processor,
+                                  collect_details=False).energy
+    return energy / expansion.horizon
+
+
+@dataclass
+class Partition:
+    """A validated task-to-core assignment.
+
+    Attributes
+    ----------
+    taskset:
+        The parent (global) task set that was partitioned.
+    core_tasksets:
+        One :class:`TaskSet` per core (``None`` for idle cores, which happen
+        when there are more cores than tasks).  Each core task set inherits
+        the parent's priority values explicitly.
+    partitioner:
+        Registry name of the heuristic that produced the assignment.
+    """
+
+    taskset: TaskSet
+    core_tasksets: List[Optional[TaskSet]]
+    partitioner: str
+    _assignment: Dict[str, int] = field(init=False, repr=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        assignment: Dict[str, int] = {}
+        for core, core_set in enumerate(self.core_tasksets):
+            if core_set is None:
+                continue
+            for task in core_set:
+                if task.name in assignment:
+                    raise AllocationError(
+                        f"task {task.name!r} assigned to cores "
+                        f"{assignment[task.name]} and {core}"
+                    )
+                assignment[task.name] = core
+        parent_names = {task.name for task in self.taskset}
+        missing = sorted(parent_names - set(assignment))
+        extra = sorted(set(assignment) - parent_names)
+        if missing or extra:
+            raise AllocationError(
+                f"partition does not cover the task set exactly once "
+                f"(missing {missing}, extra {extra})"
+            )
+        self._assignment = assignment
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    @property
+    def n_cores(self) -> int:
+        return len(self.core_tasksets)
+
+    @property
+    def assignment(self) -> Dict[str, int]:
+        """Mapping from task name to core index."""
+        return dict(self._assignment)
+
+    def core_of(self, task_name: str) -> int:
+        try:
+            return self._assignment[task_name]
+        except KeyError:
+            raise AllocationError(f"unknown task {task_name!r}") from None
+
+    def used_cores(self) -> List[int]:
+        """Indices of cores that received at least one task."""
+        return [core for core, core_set in enumerate(self.core_tasksets)
+                if core_set is not None]
+
+    def utilizations(self, processor: ProcessorModel) -> List[float]:
+        """Worst-case utilisation of every core at maximum frequency (0.0 for idle cores)."""
+        return [
+            0.0 if core_set is None else core_set.utilization(processor.fmax)
+            for core_set in self.core_tasksets
+        ]
+
+    def average_utilizations(self, processor: ProcessorModel) -> List[float]:
+        """Average-case (ACEC) utilisation of every core at maximum frequency."""
+        return [
+            0.0 if core_set is None else core_set.average_utilization(processor.fmax)
+            for core_set in self.core_tasksets
+        ]
+
+    def validate(self, processor: ProcessorModel) -> None:
+        """Re-check the invariants: exact cover (checked at construction) and per-core feasibility."""
+        for core, core_set in enumerate(self.core_tasksets):
+            if core_set is None:
+                continue
+            report = check_feasibility(core_set, processor)
+            if not report:
+                raise InfeasibleTaskSetError(
+                    f"core {core} of partition {self.partitioner!r} is not schedulable: "
+                    + "; ".join(report.violations)
+                )
+
+    def describe(self) -> str:
+        """Human-readable per-core summary."""
+        lines = [f"Partition ({self.partitioner}): {len(self._assignment)} tasks "
+                 f"on {self.n_cores} cores"]
+        for core, core_set in enumerate(self.core_tasksets):
+            if core_set is None:
+                lines.append(f"  core {core}: idle")
+            else:
+                names = ", ".join(task.name for task in core_set)
+                lines.append(f"  core {core}: {names}")
+        return "\n".join(lines)
+
+
+class Partitioner(ABC):
+    """Common interface of the task-to-core allocation heuristics.
+
+    Subclasses implement :meth:`select_core`; the shared :meth:`partition`
+    driver handles the decreasing-utilisation placement order, the per-core
+    feasibility gate and the final :class:`Partition` validation.
+    """
+
+    #: Registry name (set by subclasses).
+    name: str = "partitioner"
+
+    def __init__(self, processor: ProcessorModel) -> None:
+        self.processor = processor
+
+    # ------------------------------------------------------------------ #
+    # Driver
+    # ------------------------------------------------------------------ #
+    def partition(self, taskset: TaskSet, n_cores: int) -> Partition:
+        """Assign every task of ``taskset`` to one of ``n_cores`` cores."""
+        if n_cores < 1:
+            raise AllocationError(f"n_cores must be at least 1, got {n_cores}")
+        priorities = taskset.priorities
+        ordered = sorted(
+            taskset,
+            key=lambda task: (-(task.wcec / task.period), task.name),
+        )
+        bins: List[List[Task]] = [[] for _ in range(n_cores)]
+        for task in ordered:
+            # One candidate task set per core, built once and shared between
+            # the feasibility gate and select_core (the energy-aware heuristic
+            # re-evaluates the same candidates).
+            candidates = {
+                core: self._make_taskset("candidate", list(bins[core]) + [task],
+                                         priorities, core)
+                for core in range(n_cores)
+            }
+            feasible = [core for core in range(n_cores)
+                        if check_feasibility(candidates[core], self.processor)]
+            if not feasible:
+                raise InfeasibleTaskSetError(
+                    f"partitioner {self.name!r}: task {task.name!r} "
+                    f"(utilisation {task.wcec / task.period / self.processor.fmax:.3f}) "
+                    f"fits on none of the {n_cores} cores"
+                )
+            chosen = self.select_core(task, feasible, bins, priorities, candidates)
+            if chosen not in feasible:
+                raise AllocationError(
+                    f"partitioner {self.name!r} selected infeasible core {chosen}"
+                )
+            bins[chosen].append(task)
+        partition = Partition(
+            taskset=taskset,
+            core_tasksets=[self._bin_taskset(taskset, bin_tasks, priorities, core)
+                           for core, bin_tasks in enumerate(bins)],
+            partitioner=self.name,
+        )
+        partition.validate(self.processor)
+        return partition
+
+    @abstractmethod
+    def select_core(self, task: Task, feasible: Sequence[int],
+                    bins: Sequence[Sequence[Task]],
+                    priorities: Dict[str, int],
+                    candidates: Dict[int, TaskSet]) -> int:
+        """Pick one of the ``feasible`` core indices for ``task``.
+
+        ``candidates[core]`` is the already-built task set of ``core`` with
+        ``task`` added — the exact set the feasibility gate just checked.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _bin_taskset(self, parent: TaskSet, tasks: Sequence[Task],
+                     priorities: Dict[str, int], core: int) -> Optional[TaskSet]:
+        if not tasks:
+            return None
+        return self._make_taskset(parent.name, tasks, priorities, core)
+
+    @staticmethod
+    def _make_taskset(parent_name: str, tasks: Sequence[Task],
+                      priorities: Dict[str, int], core: int) -> TaskSet:
+        # The parent's resolved priority values ride along explicitly, so
+        # partitioning can never flip the relative priority of two tasks that
+        # land on the same core (a fresh RM assignment could, via tie-breaks).
+        carried = [replace(task, priority=priorities[task.name]) for task in tasks]
+        return TaskSet(carried, priority_policy="explicit",
+                       name=f"{parent_name}/core{core}")
+
+    def _bin_utilization(self, bin_tasks: Sequence[Task]) -> float:
+        fmax = self.processor.fmax
+        return sum(task.utilization(fmax) for task in bin_tasks)
+
+
+class FirstFitDecreasingPartitioner(Partitioner):
+    """First-fit decreasing: the lowest-indexed feasible core."""
+
+    name = "ffd"
+
+    def select_core(self, task: Task, feasible: Sequence[int],
+                    bins: Sequence[Sequence[Task]],
+                    priorities: Dict[str, int],
+                    candidates: Dict[int, TaskSet]) -> int:
+        return feasible[0]
+
+
+class BestFitDecreasingPartitioner(Partitioner):
+    """Best-fit decreasing: the feasible core with the highest current utilisation."""
+
+    name = "bfd"
+
+    def select_core(self, task: Task, feasible: Sequence[int],
+                    bins: Sequence[Sequence[Task]],
+                    priorities: Dict[str, int],
+                    candidates: Dict[int, TaskSet]) -> int:
+        return max(feasible, key=lambda core: (self._bin_utilization(bins[core]), -core))
+
+
+class WorstFitDecreasingPartitioner(Partitioner):
+    """Worst-fit decreasing: the feasible core with the lowest current utilisation."""
+
+    name = "wfd"
+
+    def select_core(self, task: Task, feasible: Sequence[int],
+                    bins: Sequence[Sequence[Task]],
+                    priorities: Dict[str, int],
+                    candidates: Dict[int, TaskSet]) -> int:
+        return min(feasible, key=lambda core: (self._bin_utilization(bins[core]), core))
+
+
+class EnergyAwarePartitioner(Partitioner):
+    """Balance predicted average-case energy instead of raw utilisation.
+
+    For every feasible placement the candidate core's post-placement energy
+    rate is predicted with :func:`predicted_energy_rate`; the task goes to the
+    core whose prediction is lowest (worst-fit on energy).  This sees per-task
+    ``ceff`` and the ACEC — two tasks with equal utilisation but different
+    switching capacitance or different average/worst-case gaps are *not*
+    interchangeable energy-wise, and this heuristic knows it.
+    """
+
+    name = "energy"
+
+    def select_core(self, task: Task, feasible: Sequence[int],
+                    bins: Sequence[Sequence[Task]],
+                    priorities: Dict[str, int],
+                    candidates: Dict[int, TaskSet]) -> int:
+        return min(feasible, key=lambda core: (
+            predicted_energy_rate(candidates[core], self.processor), core))
+
+
+_PARTITIONER_FACTORIES = {
+    "ffd": FirstFitDecreasingPartitioner,
+    "bfd": BestFitDecreasingPartitioner,
+    "wfd": WorstFitDecreasingPartitioner,
+    "energy": EnergyAwarePartitioner,
+}
+
+
+def available_partitioners() -> Tuple[str, ...]:
+    """Registry names accepted by :func:`get_partitioner` (and the CLI)."""
+    return tuple(sorted(_PARTITIONER_FACTORIES))
+
+
+def get_partitioner(name: str, processor: ProcessorModel) -> Partitioner:
+    """Instantiate a partitioning heuristic by registry name."""
+    try:
+        factory = _PARTITIONER_FACTORIES[name.lower()]
+    except KeyError:
+        known = ", ".join(available_partitioners())
+        raise AllocationError(f"unknown partitioner {name!r}; known: {known}") from None
+    return factory(processor)

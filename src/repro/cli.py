@@ -12,7 +12,12 @@ and expose the online runtime and the batched harness directly:
 * ``simulate``   — schedule one application and simulate it under one or more
   online DVS policies (``--policy static|greedy|lookahead|proportional|all``);
 * ``sweep``      — configurable random-taskset sweep on a process pool
-  (``--jobs N``; any worker count produces bitwise-identical output).
+  (``--jobs N``; any worker count produces bitwise-identical output);
+* ``partition``  — partition an application across ``--cores`` processors,
+  plan each core offline, simulate the multicore system and serialise the
+  resulting ``MulticoreResult``;
+* ``scalability`` — the multicore sweep: energy across core counts m ∈
+  {1, 2, 4, 8} and across partitioning heuristics (Figure-6-style report).
 
 Use ``--full`` for the paper-scale sample sizes (slow) and ``--quick`` for a
 smoke-test-sized run.
@@ -26,13 +31,17 @@ from typing import List, Optional
 
 import numpy as np
 
+from .allocation.multicore import MulticoreProblem, plan_multicore
+from .allocation.partitioners import available_partitioners
 from .core.errors import ExperimentError, ReproError
 from .experiments.figure6a import Figure6aConfig, run_figure6a
 from .experiments.figure6b import Figure6bConfig, run_figure6b
 from .experiments.harness import make_schedulers, scheduler_names
 from .experiments.motivation import run_motivation
+from .experiments.scalability import ScalabilityConfig, run_scalability
 from .experiments.sweep import SweepConfig, run_sweep
 from .power.presets import ideal_processor
+from .runtime.multicore import MulticoreRunner
 from .runtime.policies import available_policies, get_policy
 from .runtime.simulator import DVSSimulator, SimulationConfig
 from .utils.tables import format_markdown_table
@@ -102,6 +111,56 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write the full result as JSON to this path")
     sweep.set_defaults(runner=_run_sweep)
 
+    partition = subparsers.add_parser(
+        "partition",
+        help="partition one application across cores, plan and simulate it")
+    partition.add_argument("--cores", type=int, default=4, help="number of cores m")
+    partition.add_argument("--partitioner", choices=available_partitioners(),
+                           default="wfd", help="task-to-core allocation heuristic")
+    partition.add_argument("--app", choices=("demo", "cnc", "gap"), default="cnc",
+                           help="task set to partition (demo = small 3-task example)")
+    partition.add_argument("--method", choices=scheduler_names(), default="acs",
+                           help="offline scheduler run independently per core")
+    partition.add_argument("--policy", choices=available_policies(), default="greedy",
+                           help="online DVS policy driving every core")
+    partition.add_argument("--hyperperiods", type=int, default=20,
+                           help="global hyperperiods to simulate")
+    partition.add_argument("--ratio", type=float, default=0.5,
+                           help="BCEC/WCEC ratio of the workload")
+    partition.add_argument("--seed", type=int, default=2005)
+    partition.add_argument("--jobs", type=int, default=1,
+                           help="worker processes for the per-core NLP solves")
+    partition.add_argument("--output", default="multicore_result.json",
+                           help="path of the serialized MulticoreResult JSON")
+    partition.set_defaults(runner=_run_partition)
+
+    scalability = subparsers.add_parser(
+        "scalability",
+        help="multicore scalability sweep: energy across core counts and partitioners")
+    scalability.add_argument("--cores", default=None,
+                             help="comma-separated core counts "
+                                  "(default 1,2,4,8; 1,2 with --quick)")
+    scalability.add_argument("--partitioners", default=None,
+                             help="comma-separated partitioner names "
+                                  "(default all; ffd,wfd with --quick)")
+    scalability.add_argument("--app", choices=("cnc", "gap"), default="cnc")
+    scalability.add_argument("--method", choices=scheduler_names(), default="acs")
+    scalability.add_argument("--policy", choices=available_policies(), default="greedy")
+    scalability.add_argument("--ratio", type=float, default=0.5)
+    scalability.add_argument("--hyperperiods", type=int, default=None,
+                             help="global hyperperiods per point "
+                                  "(default 20; 5 with --quick)")
+    scalability.add_argument("--seed", type=int, default=2005)
+    scalability.add_argument("--jobs", type=int, default=1,
+                             help="worker processes (results identical for any value)")
+    scalability.add_argument("--quick", action="store_true",
+                             help="tiny sweep (smoke test): shrinks the defaults of "
+                                  "--cores/--partitioners/--hyperperiods; explicitly "
+                                  "given values are honoured as-is")
+    scalability.add_argument("--output", default=None,
+                             help="also write the full result as JSON to this path")
+    scalability.set_defaults(runner=_run_scalability)
+
     return parser
 
 
@@ -154,6 +213,15 @@ def _demo_taskset(ratio: float):
     return taskset.with_bcec_ratio(ratio)
 
 
+def _select_taskset(app: str, ratio: float, processor):
+    """The ``--app`` dispatch shared by ``simulate`` and ``partition``."""
+    if app == "demo":
+        return _demo_taskset(ratio)
+    if app == "cnc":
+        return cnc_taskset(processor, bcec_wcec_ratio=ratio)
+    return gap_taskset(processor, bcec_wcec_ratio=ratio, n_tasks=8)
+
+
 def _run_simulate(args: argparse.Namespace) -> str:
     if args.policy == "all":
         policies = available_policies()
@@ -169,12 +237,7 @@ def _run_simulate(args: argparse.Namespace) -> str:
             raise ExperimentError(str(error)) from None
 
     processor = ideal_processor(fmax=1000.0)
-    if args.app == "demo":
-        taskset = _demo_taskset(args.ratio)
-    elif args.app == "cnc":
-        taskset = cnc_taskset(processor, bcec_wcec_ratio=args.ratio)
-    else:
-        taskset = gap_taskset(processor, bcec_wcec_ratio=args.ratio, n_tasks=8)
+    taskset = _select_taskset(args.app, args.ratio, processor)
 
     scheduler = make_schedulers([args.method], processor)[args.method]
     schedule = scheduler.schedule(taskset)
@@ -222,6 +285,94 @@ def _run_sweep(args: argparse.Namespace) -> str:
     if args.output:
         from .reporting.serialization import save_json, sweep_result_to_dict
         save_json(sweep_result_to_dict(result), args.output)
+    report = result.to_markdown()
+    # Wall-clock goes on a separate trailing line so the deterministic report
+    # above stays byte-identical across --jobs values.
+    return f"{report}\n\nwall-clock: {result.elapsed_seconds:.2f}s (jobs={config.jobs})"
+
+
+def _run_partition(args: argparse.Namespace) -> str:
+    if args.cores < 1:
+        raise ExperimentError(f"--cores must be at least 1, got {args.cores}")
+    if args.jobs < 1:
+        raise ExperimentError(f"--jobs must be at least 1, got {args.jobs}")
+    processor = ideal_processor(fmax=1000.0)
+    taskset = _select_taskset(args.app, args.ratio, processor)
+
+    problem = MulticoreProblem(
+        taskset=taskset,
+        processor=processor,
+        n_cores=args.cores,
+        partitioner=args.partitioner,
+        method=args.method,
+    )
+    plan = plan_multicore(problem, jobs=args.jobs)
+    runner = MulticoreRunner(
+        processor, policy=args.policy,
+        config=SimulationConfig(n_hyperperiods=args.hyperperiods),
+    )
+    result = runner.run(plan, seed=args.seed)
+
+    from .reporting.serialization import multicore_result_to_dict, save_json
+    output_path = save_json(multicore_result_to_dict(result), args.output)
+
+    rows: List[List[object]] = []
+    for core, core_result in enumerate(result.core_results):
+        if core_result is None:
+            rows.append([core, "idle", 0.0, 0.0, 0.0, 0])
+            continue
+        tasks = ", ".join(sorted(
+            name for name, owner in result.assignment.items() if owner == core))
+        rows.append([
+            core, tasks, result.core_utilizations[core],
+            result.core_slacks[core],
+            core_result.mean_energy_per_hyperperiod, core_result.miss_count,
+        ])
+    header = (f"app={args.app} cores={args.cores} partitioner={args.partitioner} "
+              f"method={args.method} policy={args.policy} "
+              f"hyperperiods={args.hyperperiods} seed={args.seed}")
+    table = format_markdown_table(
+        ["core", "tasks", "utilisation", "slack", "energy / core hyperperiod", "misses"],
+        rows)
+    summary = (f"total energy: {result.total_energy:.6g} | "
+               f"mean energy per global hyperperiod: "
+               f"{result.mean_energy_per_hyperperiod:.6g} | "
+               f"misses: {result.miss_count}")
+    return "\n".join([header, "", table, "", summary,
+                      f"wrote MulticoreResult to {output_path}"])
+
+
+def _run_scalability(args: argparse.Namespace) -> str:
+    # --quick only shrinks the *defaults*; values the user gave explicitly
+    # (--cores/--partitioners/--hyperperiods) are honoured as-is.
+    cores_spec = args.cores if args.cores is not None else ("1,2" if args.quick else "1,2,4,8")
+    partitioners_spec = args.partitioners if args.partitioners is not None \
+        else ("ffd,wfd" if args.quick else "ffd,bfd,wfd,energy")
+    n_hyperperiods = args.hyperperiods if args.hyperperiods is not None \
+        else (5 if args.quick else 20)
+    try:
+        core_counts = tuple(int(part) for part in cores_spec.split(",") if part.strip())
+    except ValueError:
+        raise ExperimentError(f"--cores must be comma-separated integers, got {cores_spec!r}")
+    partitioners = tuple(part.strip() for part in partitioners_spec.split(",") if part.strip())
+    if not core_counts or not partitioners:
+        raise ExperimentError("--cores and --partitioners must each name at least one value")
+    unknown = [name for name in partitioners if name not in available_partitioners()]
+    if unknown:
+        raise ExperimentError(
+            f"unknown partitioners {unknown}; known: {', '.join(available_partitioners())}")
+    config = ScalabilityConfig(
+        core_counts=core_counts, partitioners=partitioners,
+        application=args.app, method=args.method, policy=args.policy,
+        bcec_wcec_ratio=args.ratio,
+        n_hyperperiods=n_hyperperiods,
+        seed=args.seed, jobs=args.jobs,
+        gap_tasks=5 if args.quick else 8,
+    )
+    result = run_scalability(config, verbose=True)
+    if args.output:
+        from .reporting.serialization import save_json, scalability_result_to_dict
+        save_json(scalability_result_to_dict(result), args.output)
     report = result.to_markdown()
     # Wall-clock goes on a separate trailing line so the deterministic report
     # above stays byte-identical across --jobs values.

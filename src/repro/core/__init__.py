@@ -7,6 +7,7 @@ exception hierarchy.
 """
 
 from .errors import (
+    AllocationError,
     AnalysisError,
     DeadlineMissError,
     ExperimentError,
@@ -41,6 +42,7 @@ __all__ = [
     "InvalidTaskSetError",
     "InvalidProcessorError",
     "AnalysisError",
+    "AllocationError",
     "InfeasibleTaskSetError",
     "SchedulingError",
     "OptimizationError",

@@ -37,6 +37,10 @@ class InfeasibleTaskSetError(AnalysisError):
     """The task set cannot be scheduled even at the maximum frequency."""
 
 
+class AllocationError(ReproError):
+    """Multiprocessor task-to-core allocation failed or was misconfigured."""
+
+
 class SchedulingError(ReproError):
     """Offline voltage scheduling failed."""
 

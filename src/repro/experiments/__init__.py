@@ -15,6 +15,13 @@ from .harness import (
     scheduler_names,
 )
 from .motivation import MotivationConfig, MotivationResult, motivation_taskset, run_motivation
+from .scalability import (
+    ScalabilityConfig,
+    ScalabilityPoint,
+    ScalabilityResult,
+    run_multicore_point,
+    run_scalability,
+)
 from .seeding import derive_rng, derive_seed, seed_sequence
 from .sweep import SweepConfig, SweepResult, run_sweep
 
@@ -47,4 +54,9 @@ __all__ = [
     "MotivationResult",
     "motivation_taskset",
     "run_motivation",
+    "ScalabilityConfig",
+    "ScalabilityPoint",
+    "ScalabilityResult",
+    "run_multicore_point",
+    "run_scalability",
 ]

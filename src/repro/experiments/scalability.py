@@ -1,0 +1,224 @@
+"""Multicore scalability sweep: energy vs core count across partitioners.
+
+The Figure-6 experiments compare *offline schedulers* on one core; this sweep
+compares *partitioning heuristics* across core counts.  One task set is
+planned and simulated for every ``(m, partitioner)`` combination — the same
+application, the same workload realisation root seed per core count — and the
+report shows, Figure-6-style, the mean energy per (global) hyperperiod and
+the percentage improvement over the single-core baseline.
+
+The physics being measured: distributing a fixed workload over more cores
+gives every core more static slack, the per-core NLP stretches every
+sub-instance over more time, and the quadratic energy law turns that linear
+slowdown into a superlinear energy win — until ``fmin``/``vmin`` clipping
+flattens the curve.  Partitioners differ in how evenly they hand that slack
+out, which is exactly what the columns of the report compare.
+
+Work units are independent, so ``jobs=N`` distributes them over a process
+pool with the usual bitwise-determinism guarantee (every unit derives its
+simulation seed from its own coordinates).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..allocation.multicore import MulticoreProblem, plan_multicore
+from ..core.errors import ExperimentError
+from ..core.taskset import TaskSet
+from ..power.presets import ideal_processor
+from ..power.processor import ProcessorModel
+from ..runtime.multicore import MulticoreResult, MulticoreRunner
+from ..runtime.simulator import SimulationConfig
+from ..utils.tables import format_markdown_table
+from ..workloads.cnc import cnc_taskset
+from ..workloads.gap import gap_taskset
+
+__all__ = ["ScalabilityConfig", "ScalabilityPoint", "ScalabilityResult", "run_scalability"]
+
+
+@dataclass(frozen=True)
+class ScalabilityConfig:
+    """Sweep parameters (defaults sized for a laptop run).
+
+    ``application`` selects the task set: ``"cnc"`` (8 tasks) or ``"gap"``
+    (up to 17, trimmed by ``gap_tasks``).  The set is scaled to
+    ``target_utilization`` on *one* core, so it is single-core feasible and
+    every core count in ``core_counts`` measures the benefit of spreading the
+    same workload.
+    """
+
+    core_counts: Sequence[int] = (1, 2, 4, 8)
+    partitioners: Sequence[str] = ("ffd", "bfd", "wfd", "energy")
+    application: str = "cnc"
+    method: str = "acs"
+    policy: str = "greedy"
+    bcec_wcec_ratio: float = 0.5
+    target_utilization: float = 0.7
+    n_hyperperiods: int = 20
+    seed: int = 2005
+    gap_tasks: Optional[int] = 8
+    #: Worker processes (1 = serial); results are identical for any value.
+    jobs: int = 1
+    processor: Optional[ProcessorModel] = None
+
+    def resolved_processor(self) -> ProcessorModel:
+        return self.processor if self.processor is not None else ideal_processor()
+
+    def build_taskset(self) -> TaskSet:
+        processor = self.resolved_processor()
+        if self.application == "cnc":
+            return cnc_taskset(processor, target_utilization=self.target_utilization,
+                               bcec_wcec_ratio=self.bcec_wcec_ratio)
+        if self.application == "gap":
+            return gap_taskset(processor, target_utilization=self.target_utilization,
+                               bcec_wcec_ratio=self.bcec_wcec_ratio,
+                               n_tasks=self.gap_tasks)
+        raise ExperimentError(
+            f"unknown application {self.application!r}; known: cnc, gap")
+
+
+@dataclass(frozen=True)
+class ScalabilityPoint:
+    """One ``(core count, partitioner)`` cell of the sweep."""
+
+    n_cores: int
+    partitioner: str
+    mean_energy_per_hyperperiod: float
+    total_energy: float
+    max_core_utilization: float
+    used_cores: int
+    deadline_misses: int
+
+
+@dataclass
+class ScalabilityResult:
+    """The full grid plus Figure-6-style reporting."""
+
+    config: ScalabilityConfig
+    points: List[ScalabilityPoint]
+    elapsed_seconds: float = 0.0
+
+    def point(self, n_cores: int, partitioner: str) -> ScalabilityPoint:
+        for candidate in self.points:
+            if candidate.n_cores == n_cores and candidate.partitioner == partitioner:
+                return candidate
+        raise KeyError((n_cores, partitioner))
+
+    @property
+    def baseline_cores(self) -> int:
+        """The core count improvements are measured against: 1 when swept, else the smallest."""
+        return 1 if 1 in self.config.core_counts else min(self.config.core_counts)
+
+    def improvement_over_single_core(self, n_cores: int, partitioner: str) -> float:
+        """Energy reduction (%) relative to the :attr:`baseline_cores` run of the same partitioner."""
+        baseline = self.point(self.baseline_cores, partitioner)
+        cell = self.point(n_cores, partitioner)
+        if baseline.mean_energy_per_hyperperiod <= 0:
+            return 0.0
+        return 100.0 * (baseline.mean_energy_per_hyperperiod
+                        - cell.mean_energy_per_hyperperiod) / baseline.mean_energy_per_hyperperiod
+
+    def to_markdown(self) -> str:
+        """Deterministic report: energy grid, improvement grid, balance diagnostics."""
+        partitioners = list(self.config.partitioners)
+        energy_rows: List[List[object]] = []
+        improvement_rows: List[List[object]] = []
+        balance_rows: List[List[object]] = []
+        for n_cores in self.config.core_counts:
+            energy_rows.append(
+                [n_cores] + [self.point(n_cores, p).mean_energy_per_hyperperiod
+                             for p in partitioners])
+            improvement_rows.append(
+                [n_cores] + [self.improvement_over_single_core(n_cores, p)
+                             for p in partitioners])
+            balance_rows.append(
+                [n_cores]
+                + [self.point(n_cores, p).max_core_utilization for p in partitioners]
+                + [self.point(n_cores, partitioners[0]).used_cores])
+        headers = ["cores"] + list(partitioners)
+        lines = [
+            "mean energy per global hyperperiod:",
+            format_markdown_table(headers, energy_rows),
+            "",
+            f"energy improvement over m={self.baseline_cores} (%):",
+            format_markdown_table(headers, improvement_rows),
+            "",
+            "max per-core worst-case utilisation:",
+            format_markdown_table(headers + [f"used cores ({partitioners[0]})"],
+                                  balance_rows),
+            "",
+            f"application: {self.config.application} | method: {self.config.method} | "
+            f"policy: {self.config.policy} | hyperperiods: {self.config.n_hyperperiods} | "
+            f"misses: {sum(p.deadline_misses for p in self.points)}",
+        ]
+        return "\n".join(lines)
+
+
+def run_multicore_point(config: ScalabilityConfig, n_cores: int,
+                        partitioner: str, *, jobs: int = 1) -> MulticoreResult:
+    """Plan and simulate one ``(m, partitioner)`` combination.
+
+    Every point shares the same root seed: core ``k`` replays the same
+    workload stream in every cell (the runner derives per-core generators
+    from ``(seed, core, SIMULATION_STREAM)``), so two cells that produce the
+    same partition — e.g. first-fit at any ``m``, which packs every task onto
+    core 0 whenever the whole set fits there — report *identical* energies,
+    and the comparison along both axes is as paired as partitioning allows.
+    """
+    processor = config.resolved_processor()
+    taskset = config.build_taskset()
+    problem = MulticoreProblem(
+        taskset=taskset,
+        processor=processor,
+        n_cores=n_cores,
+        partitioner=partitioner,
+        method=config.method,
+    )
+    plan = plan_multicore(problem, jobs=jobs)
+    runner = MulticoreRunner(
+        processor,
+        policy=config.policy,
+        config=SimulationConfig(n_hyperperiods=config.n_hyperperiods),
+    )
+    return runner.run(plan, seed=config.seed)
+
+
+def _execute_point(work: Tuple[ScalabilityConfig, int, str]) -> ScalabilityPoint:
+    """Worker entry point (module-level so the process pool can pickle it)."""
+    config, n_cores, partitioner = work
+    result = run_multicore_point(config, n_cores, partitioner)
+    return ScalabilityPoint(
+        n_cores=n_cores,
+        partitioner=partitioner,
+        mean_energy_per_hyperperiod=result.mean_energy_per_hyperperiod,
+        total_energy=result.total_energy,
+        max_core_utilization=max(result.core_utilizations),
+        used_cores=sum(1 for u in result.core_utilizations if u > 0.0),
+        deadline_misses=result.miss_count,
+    )
+
+
+def run_scalability(config: Optional[ScalabilityConfig] = None, *,
+                    verbose: bool = False) -> ScalabilityResult:
+    """Run the sweep (``config.jobs`` worker processes, same result for any count)."""
+    cfg = config or ScalabilityConfig()
+    units = [(cfg, n_cores, partitioner)
+             for n_cores in cfg.core_counts
+             for partitioner in cfg.partitioners]
+    started = time.perf_counter()
+    if cfg.jobs == 1 or len(units) <= 1:
+        points = [_execute_point(unit) for unit in units]
+    else:
+        with ProcessPoolExecutor(max_workers=min(cfg.jobs, len(units))) as pool:
+            points = list(pool.map(_execute_point, units))
+    elapsed = time.perf_counter() - started
+    if verbose:
+        for point in points:
+            print(f"scalability: m={point.n_cores} {point.partitioner} "
+                  f"energy/hp={point.mean_energy_per_hyperperiod:.4g} "
+                  f"misses={point.deadline_misses}")
+    return ScalabilityResult(config=cfg, points=points, elapsed_seconds=elapsed)

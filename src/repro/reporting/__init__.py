@@ -4,7 +4,11 @@ from .gantt import render_static_schedule, render_timeline
 from .serialization import (
     comparison_result_to_dict,
     load_json,
+    multicore_plan_to_dict,
+    multicore_result_to_dict,
+    partition_to_dict,
     save_json,
+    scalability_result_to_dict,
     schedule_from_dict,
     schedule_to_dict,
     simulation_result_to_dict,
@@ -23,6 +27,10 @@ __all__ = [
     "simulation_result_to_dict",
     "comparison_result_to_dict",
     "sweep_result_to_dict",
+    "partition_to_dict",
+    "multicore_plan_to_dict",
+    "multicore_result_to_dict",
+    "scalability_result_to_dict",
     "save_json",
     "load_json",
 ]

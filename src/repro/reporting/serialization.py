@@ -28,8 +28,12 @@ from ..offline.schedule import StaticSchedule
 from ..runtime.results import SimulationResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a hard dependency edge
+    from ..allocation.multicore import MulticorePlan
+    from ..allocation.partitioners import Partition
     from ..experiments.harness import ComparisonResult
+    from ..experiments.scalability import ScalabilityResult
     from ..experiments.sweep import SweepResult
+    from ..runtime.multicore import MulticoreResult
 
 __all__ = [
     "taskset_to_dict",
@@ -39,6 +43,10 @@ __all__ = [
     "simulation_result_to_dict",
     "comparison_result_to_dict",
     "sweep_result_to_dict",
+    "partition_to_dict",
+    "multicore_plan_to_dict",
+    "multicore_result_to_dict",
+    "scalability_result_to_dict",
     "save_json",
     "load_json",
 ]
@@ -205,6 +213,94 @@ def sweep_result_to_dict(result: "SweepResult") -> Dict:
         "total_deadline_misses": result.total_misses(),
         "elapsed_seconds": result.elapsed_seconds,
         "results": [comparison_result_to_dict(r) for r in result.results],
+    }
+
+
+def partition_to_dict(partition: "Partition") -> Dict:
+    """Serialise a task-to-core assignment (what a multicore deployment ships first)."""
+    return {
+        "partitioner": partition.partitioner,
+        "n_cores": partition.n_cores,
+        "taskset": taskset_to_dict(partition.taskset),
+        "assignment": partition.assignment,
+        "cores": [
+            None if core_set is None else [task.name for task in core_set]
+            for core_set in partition.core_tasksets
+        ],
+    }
+
+
+def multicore_plan_to_dict(plan: "MulticorePlan") -> Dict:
+    """Serialise a multicore plan: the partition plus one static schedule per core."""
+    return {
+        "method": plan.method,
+        "hyperperiod": plan.hyperperiod,
+        "partition": partition_to_dict(plan.partition),
+        "schedules": [
+            None if schedule is None else schedule_to_dict(schedule)
+            for schedule in plan.schedules
+        ],
+    }
+
+
+def multicore_result_to_dict(result: "MulticoreResult") -> Dict:
+    """Serialise a multicore simulation (aggregates plus every core's result)."""
+    return {
+        "method": result.method,
+        "policy": result.policy,
+        "partitioner": result.partitioner,
+        "n_cores": result.n_cores,
+        "n_hyperperiods": result.n_hyperperiods,
+        "hyperperiod": result.hyperperiod,
+        "total_energy": result.total_energy,
+        "mean_energy_per_hyperperiod": result.mean_energy_per_hyperperiod,
+        "transition_energy": result.transition_energy,
+        "deadline_misses": result.miss_count,
+        "jobs_completed": result.jobs_completed,
+        "assignment": dict(result.assignment),
+        "core_utilizations": list(result.core_utilizations),
+        "core_average_utilizations": list(result.core_average_utilizations),
+        "core_slacks": list(result.core_slacks),
+        "cores": [
+            None if core_result is None else simulation_result_to_dict(core_result)
+            for core_result in result.core_results
+        ],
+    }
+
+
+def scalability_result_to_dict(result: "ScalabilityResult") -> Dict:
+    """Serialise the multicore scalability sweep (grid of (cores, partitioner) points)."""
+    cfg = result.config
+    return {
+        "config": {
+            "core_counts": list(cfg.core_counts),
+            "partitioners": list(cfg.partitioners),
+            "application": cfg.application,
+            "method": cfg.method,
+            "policy": cfg.policy,
+            "bcec_wcec_ratio": cfg.bcec_wcec_ratio,
+            "target_utilization": cfg.target_utilization,
+            "n_hyperperiods": cfg.n_hyperperiods,
+            "seed": cfg.seed,
+            "gap_tasks": cfg.gap_tasks,
+            "jobs": cfg.jobs,
+        },
+        "baseline_cores": result.baseline_cores,
+        "points": [
+            {
+                "n_cores": point.n_cores,
+                "partitioner": point.partitioner,
+                "mean_energy_per_hyperperiod": point.mean_energy_per_hyperperiod,
+                "total_energy": point.total_energy,
+                "max_core_utilization": point.max_core_utilization,
+                "used_cores": point.used_cores,
+                "deadline_misses": point.deadline_misses,
+                "improvement_over_single_core_percent":
+                    result.improvement_over_single_core(point.n_cores, point.partitioner),
+            }
+            for point in result.points
+        ],
+        "elapsed_seconds": result.elapsed_seconds,
     }
 
 

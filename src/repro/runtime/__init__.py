@@ -16,6 +16,7 @@ from .policies import (
 )
 from .results import DeadlineMiss, SimulationResult, improvement_percent
 from .simulator import DVSSimulator, SimulationConfig
+from .multicore import MulticoreResult, MulticoreRunner
 
 __all__ = [
     "CompiledRunner",
@@ -24,6 +25,8 @@ __all__ = [
     "DVSSimulator",
     "SimulationConfig",
     "SimulationResult",
+    "MulticoreRunner",
+    "MulticoreResult",
     "DeadlineMiss",
     "improvement_percent",
     "DVSPolicy",

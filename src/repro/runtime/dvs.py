@@ -3,13 +3,24 @@
 The policy protocol and its implementations moved to
 :mod:`repro.runtime.policies` when the layer grew lifecycle hooks and the
 look-ahead variant; this module keeps the seed-era import path
-(``repro.runtime.dvs``) working.  New code should import from
-:mod:`repro.runtime.policies` (or :mod:`repro.runtime`).
+(``repro.runtime.dvs``) working.  Importing it emits a
+:class:`DeprecationWarning`; new code should import from
+:mod:`repro.runtime.policies` (or :mod:`repro.runtime`).  The re-export list
+is pinned to ``policies.__all__`` by ``tests/runtime/test_dvs.py``.
 """
 
 from __future__ import annotations
 
-from .policies import (
+import warnings
+
+warnings.warn(
+    "repro.runtime.dvs is a backwards-compatibility shim; import the online "
+    "DVS policy layer from repro.runtime.policies (or repro.runtime) instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from .policies import (  # noqa: E402  (the warning must fire before the re-exports)
     DVSPolicy,
     GreedySlackPolicy,
     LookaheadSlackPolicy,

@@ -1,0 +1,190 @@
+"""Tests for the task-to-core partitioning heuristics.
+
+The property-style suite generates random task sets and asserts, for every
+registered partitioner and several core counts, the two invariants any valid
+partition must satisfy: every task is placed on exactly one core, and every
+populated core passes the full single-core feasibility test.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.allocation.partitioners import (
+    BestFitDecreasingPartitioner,
+    EnergyAwarePartitioner,
+    FirstFitDecreasingPartitioner,
+    Partition,
+    WorstFitDecreasingPartitioner,
+    available_partitioners,
+    get_partitioner,
+    predicted_energy_rate,
+)
+from repro.analysis.feasibility import check_feasibility
+from repro.core.errors import AllocationError, InfeasibleTaskSetError
+from repro.core.task import Task
+from repro.core.taskset import TaskSet
+from repro.power.presets import ideal_processor
+
+PROCESSOR = ideal_processor(fmax=1000.0)
+
+
+@st.composite
+def partitionable_tasksets(draw):
+    """3–6 tasks, divisor-friendly periods, every task single-core feasible alone."""
+    n_tasks = draw(st.integers(min_value=3, max_value=6))
+    periods = draw(st.lists(st.sampled_from([10.0, 20.0, 40.0]),
+                            min_size=n_tasks, max_size=n_tasks))
+    shares = draw(st.lists(st.floats(min_value=0.05, max_value=1.0),
+                           min_size=n_tasks, max_size=n_tasks))
+    ratio = draw(st.sampled_from([0.2, 0.5, 0.9]))
+    utilization = draw(st.floats(min_value=0.3, max_value=0.85))
+    total_share = sum(shares)
+    tasks = []
+    for index, (period, share) in enumerate(zip(periods, shares)):
+        task_utilization = utilization * share / total_share
+        wcec = max(task_utilization * period * PROCESSOR.fmax, 1.0)
+        tasks.append(Task(f"t{index}", period=period, wcec=wcec).scaled(bcec_ratio=ratio))
+    return TaskSet(tasks, name="hypothesis")
+
+
+def assert_valid_partition(partition, taskset, n_cores):
+    """The two partition invariants: exact cover and per-core schedulability."""
+    assert partition.n_cores == n_cores
+    placed = []
+    for core_set in partition.core_tasksets:
+        if core_set is None:
+            continue
+        report = check_feasibility(core_set, PROCESSOR)
+        assert report.schedulable, report.violations
+        placed.extend(task.name for task in core_set)
+    assert sorted(placed) == sorted(task.name for task in taskset)
+    assert partition.assignment.keys() == {task.name for task in taskset}
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(taskset=partitionable_tasksets(),
+       n_cores=st.integers(min_value=1, max_value=8),
+       name=st.sampled_from(available_partitioners()))
+def test_every_partitioner_produces_a_valid_partition(taskset, n_cores, name):
+    partitioner = get_partitioner(name, PROCESSOR)
+    partition = partitioner.partition(taskset, n_cores)
+    assert_valid_partition(partition, taskset, n_cores)
+    # Per-core priorities are inherited from the parent, never reassigned.
+    parent = taskset.priorities
+    for core_set in partition.core_tasksets:
+        if core_set is None:
+            continue
+        for task in core_set:
+            assert core_set.priority_of(task) == parent[task.name]
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(taskset=partitionable_tasksets(), n_cores=st.integers(min_value=1, max_value=4))
+def test_partitioners_are_deterministic(taskset, n_cores):
+    for name in available_partitioners():
+        first = get_partitioner(name, PROCESSOR).partition(taskset, n_cores)
+        second = get_partitioner(name, PROCESSOR).partition(taskset, n_cores)
+        assert first.assignment == second.assignment
+
+
+class TestHeuristicShapes:
+    """Deterministic spot checks of the placement behaviour."""
+
+    def taskset(self):
+        return TaskSet([
+            Task("a", period=10, wcec=2000, acec=1000, bcec=400),
+            Task("b", period=10, wcec=2000, acec=1000, bcec=400),
+            Task("c", period=20, wcec=4000, acec=2000, bcec=800),
+            Task("d", period=20, wcec=4000, acec=2000, bcec=800),
+        ], name="square")
+
+    def test_ffd_packs_onto_first_core(self):
+        partition = FirstFitDecreasingPartitioner(PROCESSOR).partition(self.taskset(), 4)
+        assert set(partition.assignment.values()) == {0}
+        assert partition.used_cores() == [0]
+
+    def test_wfd_spreads_over_all_cores(self):
+        partition = WorstFitDecreasingPartitioner(PROCESSOR).partition(self.taskset(), 4)
+        assert sorted(partition.assignment.values()) == [0, 1, 2, 3]
+        utilizations = partition.utilizations(PROCESSOR)
+        assert max(utilizations) - min(utilizations) < 1e-9
+
+    def test_bfd_fills_the_fullest_feasible_core(self):
+        # With every core feasible for everything, best-fit behaves like
+        # first-fit: it keeps topping up core 0.
+        partition = BestFitDecreasingPartitioner(PROCESSOR).partition(self.taskset(), 4)
+        assert set(partition.assignment.values()) == {0}
+
+    def test_energy_aware_balances_on_ceff_not_utilization(self):
+        # Two utilisation-identical hogs, one with 4x the switching
+        # capacitance.  A utilisation balancer is indifferent; the
+        # energy-aware heuristic must put the light third task next to the
+        # *expensive* hog (lowest predicted energy after placement is on the
+        # cheap core only if energy, not utilisation, is what's balanced).
+        taskset = TaskSet([
+            Task("hog_cheap", period=10, wcec=3000, acec=1500, bcec=600, ceff=1.0),
+            Task("hog_dear", period=10, wcec=3000, acec=1500, bcec=600, ceff=4.0),
+            Task("light", period=20, wcec=1000, acec=500, bcec=200, ceff=1.0),
+        ], name="ceff-split")
+        partition = EnergyAwarePartitioner(PROCESSOR).partition(taskset, 2)
+        assignment = partition.assignment
+        assert assignment["hog_cheap"] != assignment["hog_dear"]
+        assert assignment["light"] == assignment["hog_cheap"]
+
+    def test_predicted_energy_rate_sees_ceff(self):
+        cheap = TaskSet([Task("t", period=10, wcec=3000, acec=1500, ceff=1.0)])
+        dear = TaskSet([Task("t", period=10, wcec=3000, acec=1500, ceff=4.0)])
+        assert predicted_energy_rate(dear, PROCESSOR) > predicted_energy_rate(cheap, PROCESSOR)
+
+
+class TestErrors:
+    def test_unknown_partitioner(self):
+        with pytest.raises(AllocationError):
+            get_partitioner("oracle", PROCESSOR)
+
+    def test_zero_cores_rejected(self):
+        taskset = TaskSet([Task("t", period=10, wcec=1000)])
+        with pytest.raises(AllocationError):
+            WorstFitDecreasingPartitioner(PROCESSOR).partition(taskset, 0)
+
+    def test_infeasible_everywhere_raises(self):
+        # Three tasks of utilisation 0.6 cannot share 1 core.
+        taskset = TaskSet([
+            Task(f"t{i}", period=10, wcec=6000) for i in range(3)
+        ], name="too-heavy")
+        with pytest.raises(InfeasibleTaskSetError):
+            FirstFitDecreasingPartitioner(PROCESSOR).partition(taskset, 1)
+
+    def test_partition_rejects_double_placement(self):
+        taskset = TaskSet([Task("t", period=10, wcec=1000, priority=0)])
+        core = TaskSet([Task("t", period=10, wcec=1000, priority=0)],
+                       priority_policy="explicit")
+        with pytest.raises(AllocationError):
+            Partition(taskset=taskset, core_tasksets=[core, core], partitioner="manual")
+
+    def test_partition_rejects_missing_task(self):
+        taskset = TaskSet([
+            Task("t", period=10, wcec=1000, priority=0),
+            Task("u", period=20, wcec=1000, priority=1),
+        ])
+        core = TaskSet([Task("t", period=10, wcec=1000, priority=0)],
+                       priority_policy="explicit")
+        with pytest.raises(AllocationError):
+            Partition(taskset=taskset, core_tasksets=[core, None], partitioner="manual")
+
+
+class TestRegistry:
+    def test_names(self):
+        assert available_partitioners() == ("bfd", "energy", "ffd", "wfd")
+
+    @pytest.mark.parametrize("name,cls", [
+        ("ffd", FirstFitDecreasingPartitioner),
+        ("bfd", BestFitDecreasingPartitioner),
+        ("wfd", WorstFitDecreasingPartitioner),
+        ("energy", EnergyAwarePartitioner),
+    ])
+    def test_lookup(self, name, cls):
+        partitioner = get_partitioner(name, PROCESSOR)
+        assert isinstance(partitioner, cls)
+        assert partitioner.name == name

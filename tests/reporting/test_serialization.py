@@ -2,11 +2,15 @@
 
 import pytest
 
+from repro.allocation.multicore import MulticoreProblem, plan_multicore
 from repro.core.errors import ReproError
 from repro.offline.acs import ACSScheduler
 from repro.offline.evaluation import average_case_energy
 from repro.reporting.serialization import (
     load_json,
+    multicore_plan_to_dict,
+    multicore_result_to_dict,
+    partition_to_dict,
     save_json,
     schedule_from_dict,
     schedule_to_dict,
@@ -14,6 +18,7 @@ from repro.reporting.serialization import (
     taskset_from_dict,
     taskset_to_dict,
 )
+from repro.runtime.multicore import MulticoreRunner
 from repro.runtime.simulator import DVSSimulator, SimulationConfig
 from repro.workloads.distributions import NormalWorkload
 
@@ -73,3 +78,62 @@ class TestSimulationResultSerialisation:
         assert data["total_energy"] == pytest.approx(result.total_energy)
         assert data["deadline_misses"] == []
         assert set(data["energy_by_task"]) == {"A", "B"}
+
+
+class TestMulticoreSerialisation:
+    @pytest.fixture(scope="class")
+    def plan(self, request):
+        from repro.power.presets import ideal_processor
+
+        processor = ideal_processor(fmax=1000.0)
+        from repro.core.task import Task
+        from repro.core.taskset import TaskSet
+
+        taskset = TaskSet([
+            Task("a", period=10, wcec=2000, acec=1000, bcec=400),
+            Task("b", period=20, wcec=4000, acec=2000, bcec=800),
+            Task("c", period=20, wcec=4000, acec=2000, bcec=800),
+        ], name="serialise-me")
+        problem = MulticoreProblem(taskset, processor, 2, partitioner="wfd")
+        return plan_multicore(problem), processor
+
+    def test_partition_dict(self, plan):
+        multicore_plan, _processor = plan
+        data = partition_to_dict(multicore_plan.partition)
+        assert data["partitioner"] == "wfd"
+        assert data["n_cores"] == 2
+        assert sorted(data["assignment"]) == ["a", "b", "c"]
+        placed = [name for names in data["cores"] if names for name in names]
+        assert sorted(placed) == ["a", "b", "c"]
+
+    def test_plan_dict_schedules_round_trip(self, plan):
+        multicore_plan, processor = plan
+        data = multicore_plan_to_dict(multicore_plan)
+        assert data["method"] == "acs"
+        assert len(data["schedules"]) == 2
+        for core, schedule_data in enumerate(data["schedules"]):
+            if schedule_data is None:
+                assert multicore_plan.schedules[core] is None
+                continue
+            rebuilt = schedule_from_dict(schedule_data)
+            rebuilt.validate(processor)
+            assert rebuilt.end_times() == pytest.approx(
+                multicore_plan.schedules[core].end_times())
+
+    def test_multicore_result_dict(self, plan, tmp_path):
+        multicore_plan, processor = plan
+        result = MulticoreRunner(
+            processor, policy="greedy",
+            config=SimulationConfig(n_hyperperiods=3),
+        ).run(multicore_plan, seed=11)
+        data = multicore_result_to_dict(result)
+        assert data["n_cores"] == 2
+        assert data["total_energy"] == pytest.approx(result.total_energy)
+        assert data["mean_energy_per_hyperperiod"] == pytest.approx(
+            result.mean_energy_per_hyperperiod)
+        assert len(data["cores"]) == 2
+        assert data["core_slacks"] == pytest.approx(
+            [1.0 - u for u in data["core_utilizations"]])
+        # It must be plain JSON, file round-trippable.
+        path = save_json(data, tmp_path / "multicore.json")
+        assert load_json(path)["partitioner"] == "wfd"

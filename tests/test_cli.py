@@ -12,7 +12,8 @@ class TestParser:
             parser.parse_args([])
 
     @pytest.mark.parametrize("command", ["motivation", "figure6a", "figure6b",
-                                         "simulate", "sweep"])
+                                         "simulate", "sweep", "partition",
+                                         "scalability"])
     def test_known_subcommands(self, command):
         args = build_parser().parse_args([command])
         assert callable(args.runner)
@@ -38,6 +39,20 @@ class TestParser:
     def test_sweep_rejects_unknown_policy(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--policy", "oracle"])
+
+    def test_partition_flags(self):
+        args = build_parser().parse_args(
+            ["partition", "--cores", "4", "--partitioner", "wfd", "--app", "cnc"])
+        assert args.cores == 4 and args.partitioner == "wfd" and args.app == "cnc"
+
+    def test_partition_rejects_unknown_partitioner(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["partition", "--partitioner", "oracle"])
+
+    def test_scalability_flags(self):
+        args = build_parser().parse_args(
+            ["scalability", "--cores", "1,2", "--partitioners", "wfd", "--quick"])
+        assert args.cores == "1,2" and args.partitioners == "wfd" and args.quick
 
 
 class TestMain:
@@ -69,6 +84,38 @@ class TestMain:
         assert main(argv) == 2
         captured = capsys.readouterr()
         assert captured.err.startswith("error:")
+
+    def test_partition_runs_and_serializes(self, capsys, tmp_path):
+        target = tmp_path / "multicore.json"
+        assert main(["partition", "--cores", "4", "--partitioner", "wfd",
+                     "--app", "demo", "--hyperperiods", "3",
+                     "--output", str(target)]) == 0
+        output = capsys.readouterr().out
+        assert "partitioner=wfd" in output
+        assert "mean energy per global hyperperiod" in output
+        import json
+        data = json.loads(target.read_text())
+        assert data["n_cores"] == 4
+        assert data["partitioner"] == "wfd"
+        assert data["total_energy"] > 0
+        assert len(data["cores"]) == 4
+        assert sorted(data["assignment"]) == ["camera", "logger", "planner"]
+
+    def test_scalability_quick_runs(self, capsys):
+        assert main(["scalability", "--quick", "--partitioners", "ffd,wfd"]) == 0
+        output = capsys.readouterr().out
+        assert "energy improvement over m=1" in output
+        assert "wall-clock" in output
+
+    @pytest.mark.parametrize("argv", [
+        ["partition", "--cores", "0"],
+        ["partition", "--app", "demo", "--jobs", "0"],
+        ["scalability", "--cores", "two"],
+        ["scalability", "--cores", ""],
+    ])
+    def test_partition_bad_arguments_fail_cleanly(self, argv, capsys):
+        assert main(argv) == 2
+        assert capsys.readouterr().err.startswith("error:")
 
     def test_sweep_quick_runs_and_saves_json(self, capsys, tmp_path):
         target = tmp_path / "sweep.json"
