@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Diff a fresh benchmark snapshot against the committed BENCH_* trajectory.
+
+The CI benchmarks job runs ``benchmarks/run_benchmarks.py`` into a scratch
+directory and then calls this script to compare the fresh numbers against the
+newest ``BENCH_<date>.json`` committed at the repository root.  Benchmarks are
+matched by name; anything more than ``--threshold`` percent slower is
+annotated with a GitHub ``::warning::`` line.  The step is informational by
+default (shared runners are noisy), so the exit status is 0 unless ``--fail``
+is given.
+
+Usage::
+
+    python benchmarks/compare_bench.py bench-artifacts/BENCH_*.json
+    python benchmarks/compare_bench.py fresh.json --baseline BENCH_2026-07-29.json
+    python benchmarks/compare_bench.py fresh.json --threshold 10 --fail
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_snapshot(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise SystemExit(f"cannot read benchmark snapshot {path}: {error}")
+
+
+def newest_committed_baseline(exclude: Path) -> Path | None:
+    """The lexically newest BENCH_<date>.json at the repo root (dates sort lexically)."""
+    candidates = [
+        path
+        for path in sorted(REPO_ROOT.glob("BENCH_*.json"))
+        if path.resolve() != exclude.resolve()
+    ]
+    return candidates[-1] if candidates else None
+
+
+def wall_by_name(snapshot: dict) -> dict:
+    return {
+        record["name"]: record.get("wall_s")
+        for record in snapshot.get("benchmarks", [])
+        if record.get("wall_s") is not None
+    }
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="snapshot JSON produced by run_benchmarks.py")
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline snapshot (default: newest committed BENCH_*.json)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=25.0,
+        help="warn when a benchmark is this many percent slower (default 25)",
+    )
+    parser.add_argument(
+        "--fail",
+        action="store_true",
+        help="exit non-zero when any benchmark crosses the threshold",
+    )
+    options = parser.parse_args(argv)
+
+    fresh_path = Path(options.fresh)
+    fresh = load_snapshot(fresh_path)
+    if options.baseline:
+        baseline_path = Path(options.baseline)
+    else:
+        baseline_path = newest_committed_baseline(exclude=fresh_path)
+        if baseline_path is None:
+            print("no committed BENCH_*.json baseline found; nothing to compare")
+            return 0
+    baseline = load_snapshot(baseline_path)
+
+    fresh_walls = wall_by_name(fresh)
+    baseline_walls = wall_by_name(baseline)
+    shared = sorted(set(fresh_walls) & set(baseline_walls))
+    if not shared:
+        print(f"no overlapping benchmarks between {fresh_path.name} and {baseline_path.name}")
+        return 0
+
+    print(f"baseline: {baseline_path.name} (commit {baseline.get('commit', '?')[:12]})")
+    print(f"fresh:    {fresh_path.name} (commit {fresh.get('commit', '?')[:12]})")
+    regressions = []
+    for name in shared:
+        base = baseline_walls[name]
+        now = fresh_walls[name]
+        delta = 100.0 * (now - base) / base if base > 0 else 0.0
+        marker = " "
+        if delta > options.threshold:
+            marker = "!"
+            regressions.append((name, base, now, delta))
+        print(f"  {marker} {name}: {base:.3f}s -> {now:.3f}s ({delta:+.1f}%)")
+    skipped = sorted(set(fresh_walls) ^ set(baseline_walls))
+    if skipped:
+        print(f"not compared (present on one side only): {', '.join(skipped)}")
+
+    for name, base, now, delta in regressions:
+        print(
+            f"::warning title=benchmark regression::{name} is {delta:.1f}% slower "
+            f"than {baseline_path.name} ({base:.3f}s -> {now:.3f}s)"
+        )
+    if regressions and options.fail:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

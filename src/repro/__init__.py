@@ -15,7 +15,9 @@ every substrate it needs:
   and slack reclamation;
 * :mod:`repro.workloads` — workload distributions, random task sets and the
   CNC / GAP case studies;
-* :mod:`repro.experiments` — harnesses regenerating every table and figure.
+* :mod:`repro.experiments` — harnesses regenerating every table and figure;
+* :mod:`repro.scenarios` — the declarative scenario runner: TOML/JSON specs,
+  the compiling engine and the content-addressed, resumable result store.
 
 Quickstart::
 
@@ -101,6 +103,14 @@ from .runtime import (
     get_policy,
     improvement_percent,
 )
+from .scenarios import (
+    ResultStore,
+    ScenarioEngine,
+    ScenarioLoader,
+    ScenarioResult,
+    ScenarioSpec,
+    load_scenario,
+)
 from .workloads import (
     BimodalWorkload,
     FixedWorkload,
@@ -113,7 +123,7 @@ from .workloads import (
     generate_random_tasksets,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -174,6 +184,13 @@ __all__ = [
     "available_policies",
     "get_policy",
     "improvement_percent",
+    # scenarios
+    "ScenarioSpec",
+    "ScenarioLoader",
+    "ScenarioEngine",
+    "ScenarioResult",
+    "ResultStore",
+    "load_scenario",
     # workloads
     "NormalWorkload",
     "UniformWorkload",

@@ -17,7 +17,7 @@ from ..core.errors import InfeasibleTaskSetError
 from ..core.taskset import TaskSet
 from ..power.processor import ProcessorModel
 from .preemption import FullyPreemptiveSchedule, expand_fully_preemptive
-from .response_time import is_schedulable, response_times
+from .response_time import response_times
 from .utilization import total_utilization
 
 __all__ = ["FeasibilityReport", "check_feasibility", "assert_feasible"]
@@ -60,7 +60,6 @@ def check_feasibility(taskset: TaskSet, processor: ProcessorModel,
         # necessary condition for the NLP's chain constraints to have any
         # feasible point.
         expansion = expansion or expand_fully_preemptive(taskset)
-        earliest_finish = 0.0
         demand_by_instance: Dict[str, float] = {}
         for sub in expansion.sub_instances:
             key = sub.instance.key

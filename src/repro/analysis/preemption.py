@@ -27,7 +27,7 @@ job stay in index order.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
 from ..core.errors import AnalysisError
 from ..core.task import SubInstance, TaskInstance

@@ -17,7 +17,14 @@ and expose the online runtime and the batched harness directly:
   plan each core offline, simulate the multicore system and serialise the
   resulting ``MulticoreResult``;
 * ``scalability`` — the multicore sweep: energy across core counts m ∈
-  {1, 2, 4, 8} and across partitioning heuristics (Figure-6-style report).
+  {1, 2, 4, 8} and across partitioning heuristics (Figure-6-style report);
+
+and the declarative scenario runner (see ``docs/scenarios.md``):
+
+* ``run``       — execute one or more scenario spec files (TOML/JSON) through
+  the resumable, content-addressed result store (``--store DIR``, ``--force``,
+  ``--profile smoke``, ``--jobs N``);
+* ``store``     — inspect (``ls``) or garbage-collect (``gc``) the store.
 
 Use ``--full`` for the paper-scale sample sizes (slow) and ``--quick`` for a
 smoke-test-sized run.
@@ -26,7 +33,10 @@ smoke-test-sized run.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from datetime import datetime, timezone
+from pathlib import Path
 from typing import List, Optional
 
 import numpy as np
@@ -50,6 +60,13 @@ from .workloads.distributions import NormalWorkload
 from .workloads.gap import gap_taskset
 
 __all__ = ["main", "build_parser"]
+
+#: Default scenario result-store directory (overridable via $REPRO_STORE or --store).
+DEFAULT_STORE_DIR = ".repro-store"
+
+
+def _resolve_store_dir(value: Optional[str]) -> str:
+    return value or os.environ.get("REPRO_STORE") or DEFAULT_STORE_DIR
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -160,6 +177,44 @@ def build_parser() -> argparse.ArgumentParser:
     scalability.add_argument("--output", default=None,
                              help="also write the full result as JSON to this path")
     scalability.set_defaults(runner=_run_scalability)
+
+    run = subparsers.add_parser(
+        "run",
+        help="execute declarative scenario spec files (TOML/JSON) via the result store")
+    run.add_argument("specs", nargs="+", metavar="SPEC",
+                     help="scenario file(s); see docs/scenarios.md and examples/scenarios/")
+    run.add_argument("--profile", default=None,
+                     help="named override profile declared in the spec (e.g. 'smoke')")
+    run.add_argument("--jobs", type=int, default=1,
+                     help="worker processes (results identical for any value)")
+    run.add_argument("--store", default=None, metavar="DIR",
+                     help=f"result store directory (default: $REPRO_STORE or {DEFAULT_STORE_DIR})")
+    run.add_argument("--no-store", action="store_true",
+                     help="compute everything in-process without touching a store")
+    run.add_argument("--force", action="store_true",
+                     help="recompute (and overwrite) units already present in the store")
+    run.add_argument("--output", default=None, metavar="DIR",
+                     help="also write one <scenario-name>.json result file per spec here")
+    run.set_defaults(runner=_run_scenarios)
+
+    store = subparsers.add_parser(
+        "store",
+        help="inspect or garbage-collect the scenario result store")
+    store_commands = store.add_subparsers(dest="store_command", required=True)
+    store_ls = store_commands.add_parser("ls", help="list stored result records")
+    store_ls.add_argument("--store", default=None, metavar="DIR")
+    store_ls.set_defaults(runner=_run_store_ls)
+    store_gc = store_commands.add_parser("gc", help="remove stored result records")
+    store_gc.add_argument("--store", default=None, metavar="DIR")
+    criteria = store_gc.add_mutually_exclusive_group(required=True)
+    criteria.add_argument("--all", action="store_true", help="remove every record")
+    criteria.add_argument("--older-than", type=float, default=None, metavar="DAYS",
+                          help="remove records created more than DAYS days ago")
+    criteria.add_argument("--stale", action="store_true",
+                          help="remove unreadable records and records from old store formats")
+    store_gc.add_argument("--dry-run", action="store_true",
+                          help="report what would be removed without deleting anything")
+    store_gc.set_defaults(runner=_run_store_gc)
 
     return parser
 
@@ -377,6 +432,78 @@ def _run_scalability(args: argparse.Namespace) -> str:
     # Wall-clock goes on a separate trailing line so the deterministic report
     # above stays byte-identical across --jobs values.
     return f"{report}\n\nwall-clock: {result.elapsed_seconds:.2f}s (jobs={config.jobs})"
+
+
+def _run_scenarios(args: argparse.Namespace) -> str:
+    from .reporting.serialization import save_json, scenario_result_to_dict
+    from .scenarios import ResultStore, ScenarioEngine, load_scenario
+
+    if args.jobs < 1:
+        raise ExperimentError(f"--jobs must be at least 1, got {args.jobs}")
+    if args.no_store and args.store:
+        raise ExperimentError("--no-store and --store are mutually exclusive")
+    store_dir = None if args.no_store else _resolve_store_dir(args.store)
+    engine = ScenarioEngine(ResultStore(store_dir) if store_dir else None)
+    sections: List[str] = []
+    for path in args.specs:
+        spec = load_scenario(path, profile=args.profile)
+        result = engine.run(spec, n_jobs=args.jobs, force=args.force)
+        if args.output:
+            output_dir = Path(args.output)
+            output_dir.mkdir(parents=True, exist_ok=True)
+            save_json(scenario_result_to_dict(result), output_dir / f"{spec.name}.json")
+        where = store_dir if store_dir else "disabled"
+        # Wall-clock goes on a separate trailing line so the deterministic
+        # report above stays byte-identical across --jobs values and reruns.
+        sections.append("\n".join([
+            f"== {spec.name} ({path})",
+            "",
+            result.to_markdown(),
+            "",
+            f"{result.summary()} (store: {where})",
+            f"wall-clock: {result.elapsed_seconds:.2f}s (jobs={args.jobs})",
+        ]))
+    return "\n\n".join(sections)
+
+
+def _run_store_ls(args: argparse.Namespace) -> str:
+    from .scenarios import ResultStore
+
+    store = ResultStore(_resolve_store_dir(args.store))
+    entries = store.entries()
+    if not entries:
+        return f"store {store.root}: empty"
+    rows: List[List[object]] = []
+    for entry in entries:
+        created = datetime.fromtimestamp(entry.created, tz=timezone.utc)
+        rows.append([
+            entry.key[:12],
+            entry.scenario or "-",
+            entry.label or "-",
+            created.strftime("%Y-%m-%d %H:%M:%S"),
+            "stale" if entry.stale else "ok",
+            entry.size_bytes,
+        ])
+    table = format_markdown_table(
+        ["key", "scenario", "label", "created (UTC)", "state", "bytes"], rows)
+    return "\n".join([table, "", f"{len(entries)} record(s) in {store.root}"])
+
+
+def _run_store_gc(args: argparse.Namespace) -> str:
+    from .scenarios import ResultStore
+
+    store = ResultStore(_resolve_store_dir(args.store))
+    removed = store.gc(
+        remove_all=args.all,
+        older_than_days=args.older_than,
+        stale_only=args.stale,
+        dry_run=args.dry_run,
+    )
+    verb = "would remove" if args.dry_run else "removed"
+    lines = [f"{verb} {entry.key[:12]}  {entry.scenario or '-'}  {entry.label or '-'}"
+             for entry in removed]
+    lines.append(f"{verb} {len(removed)} record(s) from {store.root}")
+    return "\n".join(lines)
 
 
 def main(argv: Optional[List[str]] = None) -> int:

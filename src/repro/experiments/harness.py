@@ -23,7 +23,7 @@ from __future__ import annotations
 import copy
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -50,6 +50,7 @@ __all__ = [
     "ComparisonJob",
     "compare_schedulers",
     "run_comparisons",
+    "iter_comparisons",
     "random_comparison_job",
     "default_schedulers",
     "make_schedulers",
@@ -281,6 +282,27 @@ def _execute_comparison_job(job: ComparisonJob) -> ComparisonResult:
     return compare_schedulers(taskset, job.processor, schedulers, job.config)
 
 
+def iter_comparisons(jobs: Sequence[ComparisonJob], n_jobs: int = 1,
+                     chunksize: int = 1) -> Iterator[ComparisonResult]:
+    """Execute comparison jobs, yielding each result as soon as it is known.
+
+    Results arrive in submission order with the same bitwise guarantee as
+    :func:`run_comparisons`.  Streaming is what lets incremental consumers
+    (the scenario result store) persist every finished unit immediately, so
+    a run killed mid-sweep loses at most the units still in flight.
+    """
+    if n_jobs < 1:
+        raise ExperimentError("n_jobs must be at least 1")
+    jobs = list(jobs)
+    if n_jobs == 1 or len(jobs) <= 1:
+        for job in jobs:
+            yield _execute_comparison_job(job)
+        return
+    workers = min(n_jobs, len(jobs))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        yield from pool.map(_execute_comparison_job, jobs, chunksize=chunksize)
+
+
 def run_comparisons(jobs: Sequence[ComparisonJob], n_jobs: int = 1,
                     chunksize: int = 1) -> List[ComparisonResult]:
     """Execute a batch of comparison jobs, optionally on a process pool.
@@ -291,11 +313,4 @@ def run_comparisons(jobs: Sequence[ComparisonJob], n_jobs: int = 1,
     any ``n_jobs``, because every unit derives its randomness from its own
     coordinates rather than from shared-generator call order.
     """
-    if n_jobs < 1:
-        raise ExperimentError("n_jobs must be at least 1")
-    jobs = list(jobs)
-    if n_jobs == 1 or len(jobs) <= 1:
-        return [_execute_comparison_job(job) for job in jobs]
-    workers = min(n_jobs, len(jobs))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_execute_comparison_job, jobs, chunksize=chunksize))
+    return list(iter_comparisons(jobs, n_jobs=n_jobs, chunksize=chunksize))

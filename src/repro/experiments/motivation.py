@@ -23,13 +23,13 @@ the measured percentages next to the paper's 24 % / 33 %.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 from ..core.task import Task
 from ..core.taskset import TaskSet
 from ..offline.acs import ACSScheduler
-from ..offline.evaluation import average_case_energy, evaluate_schedule, worst_case_energy
+from ..offline.evaluation import average_case_energy, worst_case_energy
 from ..offline.nonpreemptive import frame_based_taskset
 from ..offline.wcs import WCSScheduler
 from ..power.presets import ideal_processor

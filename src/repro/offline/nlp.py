@@ -43,7 +43,7 @@ import numpy as np
 from scipy import optimize
 
 from ..analysis.preemption import FullyPreemptiveSchedule
-from ..core.errors import OptimizationError, SchedulingError
+from ..core.errors import SchedulingError
 from ..power.processor import ProcessorModel
 from .evaluation import CompiledEvaluation, evaluate_vectors
 from .initialization import proportional_budget_vectors, worst_case_simulation_vectors

@@ -42,7 +42,7 @@ through :mod:`repro.offline.nlp`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 from scipy import optimize
@@ -50,7 +50,6 @@ from scipy import optimize
 from ..analysis.preemption import FullyPreemptiveSchedule
 from ..core.errors import SchedulingError
 from ..core.workload import fill_average_workloads
-from ..power.processor import ProcessorModel
 from .base import VoltageScheduler
 from .evaluation import evaluate_vectors
 from .nlp import ReducedNLP, SolverOptions

@@ -14,7 +14,7 @@ without any plotting dependency:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional
 
 from ..core.timeline import Timeline
 from ..offline.schedule import StaticSchedule

@@ -11,6 +11,9 @@ round-trips for both, without pickling arbitrary objects:
 * :func:`simulation_result_to_dict`
 * :func:`comparison_result_to_dict` / :func:`sweep_result_to_dict` (the
   experiment-harness aggregates, e.g. for ``repro sweep --output``)
+* :func:`scenario_result_to_dict` (the declarative scenario runner; the same
+  per-unit dictionaries double as the payloads of the content-addressed
+  result store, which is what makes store replays bitwise-identical)
 * :func:`save_json` / :func:`load_json`
 """
 
@@ -18,7 +21,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, TYPE_CHECKING, Union
+from typing import Dict, TYPE_CHECKING, Union
 
 from ..analysis.preemption import expand_fully_preemptive
 from ..core.errors import ReproError
@@ -34,6 +37,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a hard dependency ed
     from ..experiments.scalability import ScalabilityResult
     from ..experiments.sweep import SweepResult
     from ..runtime.multicore import MulticoreResult
+    from ..scenarios.engine import ScenarioResult
 
 __all__ = [
     "taskset_to_dict",
@@ -47,6 +51,7 @@ __all__ = [
     "multicore_plan_to_dict",
     "multicore_result_to_dict",
     "scalability_result_to_dict",
+    "scenario_result_to_dict",
     "save_json",
     "load_json",
 ]
@@ -300,6 +305,22 @@ def scalability_result_to_dict(result: "ScalabilityResult") -> Dict:
             }
             for point in result.points
         ],
+        "elapsed_seconds": result.elapsed_seconds,
+    }
+
+
+def scenario_result_to_dict(result: "ScenarioResult") -> Dict:
+    """Serialise a declarative scenario run (resolved spec, aggregates, store counters).
+
+    ``elapsed_seconds`` is the only non-deterministic field; the point
+    aggregates are computed from the store's payload form and are therefore
+    bitwise-stable across reruns, worker counts and warm/cold stores.
+    """
+    return {
+        "scenario": result.spec.to_dict(),
+        "points": [dict(point) for point in result.points],
+        "computed": result.computed,
+        "skipped": result.skipped,
         "elapsed_seconds": result.elapsed_seconds,
     }
 

@@ -93,4 +93,6 @@ class TestExpansionInvariants:
                     job += 1
             distinct_split_points = len({s.slot_start for s in subs}) - 1
             assert len(subs) == distinct_split_points + 1
+            # Coincident releases merge split points, so expected_splits is an upper bound.
+            assert len(subs) <= expected_splits + 1
             assert len(subs) >= 1

@@ -1,6 +1,5 @@
 """Unit tests for the Task / TaskInstance / SubInstance model."""
 
-import math
 
 import pytest
 

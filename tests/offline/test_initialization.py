@@ -5,8 +5,6 @@ import pytest
 from repro.analysis.preemption import expand_fully_preemptive
 from repro.analysis.response_time import breakdown_frequency
 from repro.core.errors import SchedulingError
-from repro.core.task import Task
-from repro.core.taskset import TaskSet
 from repro.offline.initialization import (
     proportional_budget_vectors,
     worst_case_simulation_vectors,

@@ -5,7 +5,6 @@ import pytest
 
 from repro.analysis.preemption import expand_fully_preemptive
 from repro.core.errors import SchedulingError
-from repro.offline.evaluation import evaluate_schedule
 from repro.offline.nlp import ReducedNLP, SolverOptions
 from repro.offline.stochastic import StochasticACSScheduler, sample_scenarios
 from repro.offline.wcs import WCSScheduler

@@ -1,0 +1,133 @@
+"""CLI coverage for `repro run` and `repro store ls/gc`."""
+
+import json
+import sys
+
+import pytest
+
+from repro.cli import build_parser, main
+
+#: Instant scenario (deterministic, no simulation) for CLI-level round trips.
+MOTIVATION = {
+    "kind": "motivation",
+    "name": "motivation-cli",
+    "power": {"model": "ideal", "vmax": 5.0, "vmin": 0.5, "fmax": 1000.0},
+}
+
+#: Tiny comparison sweep: two work units, a couple of seconds end to end.
+SWEEP = {
+    "kind": "comparison",
+    "name": "cli-sweep",
+    "taskset": {"source": "random", "n_tasks": 2, "periods": [10.0, 20.0]},
+    "simulation": {"hyperperiods": 2, "seed": 5, "repetitions": 2},
+}
+
+
+def write_spec(tmp_path, document, name="scenario.json"):
+    target = tmp_path / name
+    target.write_text(json.dumps(document))
+    return str(target)
+
+
+class TestParser:
+    def test_run_flags(self):
+        args = build_parser().parse_args(
+            ["run", "a.toml", "b.json", "--profile", "smoke", "--jobs", "4",
+             "--store", "/tmp/s", "--force"])
+        assert args.specs == ["a.toml", "b.json"]
+        assert args.profile == "smoke" and args.jobs == 4
+        assert args.store == "/tmp/s" and args.force
+
+    def test_store_subcommands(self):
+        ls = build_parser().parse_args(["store", "ls", "--store", "/tmp/s"])
+        assert ls.store_command == "ls"
+        gc = build_parser().parse_args(["store", "gc", "--all", "--dry-run"])
+        assert gc.store_command == "gc" and gc.all and gc.dry_run
+
+    def test_gc_requires_exactly_one_criterion(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["store", "gc"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["store", "gc", "--all", "--stale"])
+
+
+class TestRun:
+    def test_no_store_run(self, capsys, tmp_path):
+        spec = write_spec(tmp_path, MOTIVATION)
+        assert main(["run", spec, "--no-store"]) == 0
+        output = capsys.readouterr().out
+        assert "== motivation-cli" in output
+        assert "computed=1 skipped=0 (store: disabled)" in output
+        assert "worst case under ACS" in output
+
+    def test_store_round_trip_and_force(self, capsys, tmp_path):
+        spec = write_spec(tmp_path, SWEEP)
+        store = str(tmp_path / "store")
+        assert main(["run", spec, "--store", store]) == 0
+        assert "computed=2 skipped=0" in capsys.readouterr().out
+        assert main(["run", spec, "--store", store]) == 0
+        assert "computed=0 skipped=2" in capsys.readouterr().out
+        assert main(["run", spec, "--store", store, "--force"]) == 0
+        assert "computed=2 skipped=0" in capsys.readouterr().out
+
+    def test_output_directory_gets_result_json(self, capsys, tmp_path):
+        spec = write_spec(tmp_path, MOTIVATION)
+        out_dir = tmp_path / "results"
+        assert main(["run", spec, "--no-store", "--output", str(out_dir)]) == 0
+        data = json.loads((out_dir / "motivation-cli.json").read_text())
+        assert data["scenario"]["kind"] == "motivation"
+        assert data["computed"] == 1
+        assert len(data["points"]) == 1
+
+    @pytest.mark.parametrize("argv_tail", [
+        ["--profile", "turbo"],       # profile not declared in the file
+        ["--jobs", "0"],              # invalid worker count
+        ["--no-store", "--store", "x"],
+    ])
+    def test_bad_arguments_fail_cleanly(self, capsys, tmp_path, argv_tail):
+        spec = write_spec(tmp_path, MOTIVATION)
+        assert main(["run", spec, *argv_tail]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_missing_spec_file_fails_cleanly(self, capsys):
+        assert main(["run", "no/such/file.toml", "--no-store"]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    @pytest.mark.skipif(sys.version_info < (3, 11), reason="TOML needs tomllib")
+    def test_committed_motivation_toml_runs(self, capsys):
+        assert main(["run", "examples/scenarios/motivation.toml", "--no-store",
+                     "--profile", "smoke"]) == 0
+        assert "average-case improvement" in capsys.readouterr().out
+
+
+class TestStoreCommands:
+    def test_ls_and_gc_lifecycle(self, capsys, tmp_path):
+        spec = write_spec(tmp_path, MOTIVATION)
+        store = str(tmp_path / "store")
+
+        assert main(["store", "ls", "--store", store]) == 0
+        assert "empty" in capsys.readouterr().out
+
+        assert main(["run", spec, "--store", store]) == 0
+        capsys.readouterr()
+
+        assert main(["store", "ls", "--store", store]) == 0
+        listing = capsys.readouterr().out
+        assert "motivation-cli" in listing and "1 record(s)" in listing
+
+        assert main(["store", "gc", "--store", store, "--all", "--dry-run"]) == 0
+        assert "would remove 1 record(s)" in capsys.readouterr().out
+
+        assert main(["store", "gc", "--store", store, "--all"]) == 0
+        assert "removed 1 record(s)" in capsys.readouterr().out
+
+        assert main(["store", "ls", "--store", store]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_gc_stale_keeps_current_records(self, capsys, tmp_path):
+        spec = write_spec(tmp_path, MOTIVATION)
+        store = str(tmp_path / "store")
+        assert main(["run", spec, "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["store", "gc", "--store", store, "--stale"]) == 0
+        assert "removed 0 record(s)" in capsys.readouterr().out

@@ -1,0 +1,161 @@
+"""Engine equivalence: scenarios reproduce the hand-written experiment modules bitwise."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.figure6a import Figure6aConfig, run_figure6a
+from repro.experiments.figure6b import Figure6bConfig, run_figure6b
+from repro.experiments.motivation import run_motivation
+from repro.experiments.scalability import ScalabilityConfig, run_scalability
+from repro.scenarios import ScenarioEngine, ScenarioSpec, load_scenario
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestCompile:
+    def test_points_and_units_follow_the_matrix(self):
+        spec = ScenarioSpec.from_dict({
+            "kind": "comparison",
+            "name": "grid",
+            "simulation": {"repetitions": 3},
+            "matrix": {"taskset.n_tasks": [2, 4], "taskset.ratio": [0.1, 0.5, 0.9]},
+        })
+        compiled = ScenarioEngine().compile(spec)
+        assert len(compiled.points) == 6
+        assert all(len(point.unit_keys) == 3 for point in compiled.points)
+        assert len(compiled.units) == 18  # all units distinct (coords pin the seeds)
+        assert compiled.points[0].coords == {"taskset.n_tasks": 2, "taskset.ratio": 0.1}
+
+    def test_multicore_grid_is_native(self):
+        spec = ScenarioSpec.from_dict({
+            "kind": "multicore",
+            "name": "grid",
+            "taskset": {"source": "cnc"},
+            "offline": {"methods": ["acs"], "baseline": "acs"},
+            "multicore": {"cores": [1, 2, 4], "partitioners": ["ffd", "wfd"]},
+        })
+        compiled = ScenarioEngine().compile(spec)
+        assert len(compiled.points) == 6
+        assert len(compiled.units) == 6
+
+
+@pytest.mark.skipif(sys.version_info < (3, 11), reason="TOML scenario files need tomllib")
+class TestFigure6aAcceptance:
+    """The committed figure6a scenario reproduces `repro figure6a` bit for bit."""
+
+    def test_smoke_profile_matches_run_figure6a_quick_bitwise(self):
+        spec = load_scenario(REPO_ROOT / "examples" / "scenarios" / "figure6a.toml",
+                             profile="smoke")
+        result = ScenarioEngine().run(spec)
+        reference = run_figure6a(Figure6aConfig(
+            task_counts=(2, 4), tasksets_per_point=2,
+            hyperperiods_per_taskset=5, seed=2005))
+        for point in reference.points:
+            ours = result.point(n_tasks=point.n_tasks, ratio=point.bcec_wcec_ratio)
+            acs = ours["methods"]["acs"]
+            wcs = ours["methods"]["wcs"]
+            # Exact float equality on purpose: the scenario path must compile
+            # to the identical jobs, seeds and aggregation as the figure module.
+            assert acs["mean_improvement_percent"] == point.mean_improvement_percent
+            assert acs["std_improvement_percent"] == point.std_improvement_percent
+            assert acs["mean_energy_per_hyperperiod"] == point.mean_acs_energy
+            assert wcs["mean_energy_per_hyperperiod"] == point.mean_wcs_energy
+            assert ours["deadline_misses"] == point.deadline_misses
+
+    def test_default_profile_compiles_to_the_default_figure6a_workload(self):
+        """Same sweep shape as Figure6aConfig() without executing the jobs."""
+        spec = load_scenario(REPO_ROOT / "examples" / "scenarios" / "figure6a.toml")
+        compiled = ScenarioEngine().compile(spec)
+        default = Figure6aConfig()
+        expected_points = len(default.task_counts) * len(default.bcec_wcec_ratios)
+        assert len(compiled.points) == expected_points
+        assert len(compiled.units) == expected_points * default.tasksets_per_point
+        assert spec.simulation.hyperperiods == default.hyperperiods_per_taskset
+        assert spec.simulation.seed == default.seed
+
+
+class TestFigure6bEquivalence:
+    def test_case_study_axis_matches_run_figure6b_bitwise(self):
+        spec = ScenarioSpec.from_dict({
+            "kind": "comparison",
+            "name": "fig6b-cnc",
+            "taskset": {"source": "cnc", "utilization": 0.7},
+            "simulation": {"hyperperiods": 2, "seed": 2005},
+            "matrix": {"taskset.source": ["cnc"], "taskset.ratio": [0.1, 0.5]},
+        })
+        result = ScenarioEngine().run(spec)
+        reference = run_figure6b(Figure6bConfig(
+            applications=("cnc",), bcec_wcec_ratios=(0.1, 0.5),
+            hyperperiods_per_point=2, seed=2005))
+        for point in reference.points:
+            ours = result.point(source=point.application, ratio=point.bcec_wcec_ratio)
+            assert ours["methods"]["acs"]["mean_improvement_percent"] == point.improvement_percent
+            assert ours["methods"]["wcs"]["mean_energy_per_hyperperiod"] == point.wcs_energy
+            assert ours["methods"]["acs"]["mean_energy_per_hyperperiod"] == point.acs_energy
+
+
+class TestScalabilityEquivalence:
+    def test_multicore_grid_matches_run_scalability_bitwise(self):
+        spec = ScenarioSpec.from_dict({
+            "kind": "multicore",
+            "name": "scal",
+            "taskset": {"source": "cnc", "ratio": 0.5, "utilization": 0.7},
+            "offline": {"methods": ["acs"], "baseline": "acs"},
+            "simulation": {"hyperperiods": 5, "seed": 2005},
+            "multicore": {"cores": [1, 2], "partitioners": ["ffd", "wfd"]},
+        })
+        result = ScenarioEngine().run(spec)
+        reference = run_scalability(ScalabilityConfig(
+            core_counts=(1, 2), partitioners=("ffd", "wfd"), n_hyperperiods=5))
+        for point in reference.points:
+            ours = result.point(cores=point.n_cores, partitioner=point.partitioner)
+            assert ours["mean_energy_per_hyperperiod"] == point.mean_energy_per_hyperperiod
+            assert ours["total_energy"] == point.total_energy
+            assert ours["max_core_utilization"] == point.max_core_utilization
+            assert ours["used_cores"] == point.used_cores
+            assert ours["deadline_misses"] == point.deadline_misses
+
+
+class TestMotivationEquivalence:
+    def test_motivation_scenario_matches_run_motivation(self):
+        spec = ScenarioSpec.from_dict({
+            "kind": "motivation",
+            "name": "motivation",
+            "power": {"model": "ideal", "vmax": 5.0, "vmin": 0.5, "fmax": 1000.0},
+        })
+        (point,) = ScenarioEngine().run(spec).points
+        reference = run_motivation()
+        assert point["wcs_end_times"] == reference.wcs_end_times
+        assert point["acs_end_times"] == reference.acs_end_times
+        assert point["wcs_worst_case_energy"] == reference.wcs_worst_case_energy
+        assert point["acs_average_case_energy"] == reference.acs_average_case_energy
+        assert point["improvement_average_case_percent"] == reference.improvement_average_case_percent
+
+
+class TestParallelDeterminism:
+    def test_worker_count_does_not_change_aggregates(self):
+        spec = ScenarioSpec.from_dict({
+            "kind": "comparison",
+            "name": "par",
+            "taskset": {"source": "random", "n_tasks": 3, "periods": [10.0, 20.0, 40.0]},
+            "simulation": {"hyperperiods": 2, "seed": 11, "repetitions": 2},
+            "matrix": {"taskset.ratio": [0.2, 0.8]},
+        })
+        serial = ScenarioEngine().run(spec, n_jobs=1)
+        parallel = ScenarioEngine().run(spec, n_jobs=2)
+        assert serial.points == parallel.points
+
+    def test_markdown_report_is_deterministic(self):
+        spec = ScenarioSpec.from_dict({
+            "kind": "comparison",
+            "name": "md",
+            "taskset": {"source": "random", "n_tasks": 2, "periods": [10.0, 20.0]},
+            "simulation": {"hyperperiods": 2, "seed": 3},
+            "matrix": {"taskset.ratio": [0.5]},
+        })
+        first = ScenarioEngine().run(spec).to_markdown()
+        second = ScenarioEngine().run(spec).to_markdown()
+        assert first == second
+        assert "| ratio" in first and "misses" in first
