@@ -7,10 +7,29 @@ checks the figure's two trends:
 
 * the improvement of ACS over WCS grows with the number of tasks, and
 * it shrinks as the BCEC/WCEC ratio approaches 1.
+
+The end-to-end regeneration above is dominated by the NLP solves, so engine
+speedups barely move it.  The ``*_sim_*`` benchmarks therefore time the
+*simulation stage in isolation* — the schedules are solved once, untimed, and
+the timed region replays a widened sweep's simulations (50 task sets per
+point, 25 hyperperiods each -> 900 lock-step units) through either the
+compiled event loop or the batched structure-of-arrays engine (which must
+agree bitwise).  Batch width matters: per step the batched engine pays a
+fixed ~190-numpy-call toll spread over however many units are still live, so
+it only overtakes the compiled loop beyond roughly 200 concurrent units and
+plateaus around 2x at 900+.  The width here sits on that plateau; sweeps
+narrower than ~100 units should stay on the compiled engine.
 """
 
+from dataclasses import replace
 
-from repro.experiments.figure6a import Figure6aConfig, run_figure6a
+import numpy as np
+import pytest
+
+from repro.experiments.figure6a import Figure6aConfig, _build_jobs, run_figure6a
+from repro.experiments.harness import _prepare_units, make_schedulers
+from repro.runtime.batched import simulate_batch
+from repro.runtime.compiled import run_compiled
 
 #: Scaled-down sweep: divisor-friendly periods keep the NLP small.
 BENCH_CONFIG = Figure6aConfig(
@@ -21,6 +40,50 @@ BENCH_CONFIG = Figure6aConfig(
     periods=(10.0, 20.0, 40.0, 80.0),
     seed=2005,
 )
+
+#: Simulation-stage sweep: same points as BENCH_CONFIG but wide enough
+#: (9 points x 50 task sets x 2 methods = 900 units) for lock-stepping to
+#: amortise the batched engine's fixed per-step cost.
+SIM_TASKSETS_PER_POINT = 50
+SIM_HYPERPERIODS = 25
+
+
+@pytest.fixture(scope="module")
+def sim_units():
+    """Every (task set, method) simulation unit of the sweep, schedules pre-solved.
+
+    All NLP work happens here, outside any timed region.  The units keep
+    ``rng=None`` placeholders; each timed replay seeds fresh generators so
+    every round simulates the identical workload realisations.
+    """
+    config = replace(BENCH_CONFIG,
+                     tasksets_per_point=SIM_TASKSETS_PER_POINT,
+                     hyperperiods_per_taskset=SIM_HYPERPERIODS)
+    processor = config.resolved_processor()
+    units = []
+    for job in _build_jobs(config, processor):
+        methods = make_schedulers(job.schedulers, processor)
+        _, job_units = _prepare_units(job.resolve_taskset(), processor, methods,
+                                      job.config)
+        units.extend(job_units)
+    return units
+
+
+def _reseeded(units):
+    return [replace(unit, rng=np.random.default_rng(unit.config.seed))
+            for unit in units]
+
+
+def _simulate_compiled(units):
+    return [
+        run_compiled(unit.schedule, unit.processor, unit.policy, unit.config,
+                     unit.workload, unit.rng)
+        for unit in _reseeded(units)
+    ]
+
+
+def _simulate_batched(units):
+    return simulate_batch(_reseeded(units))
 
 
 def test_figure6a_random_tasksets(benchmark, run_once):
@@ -46,3 +109,25 @@ def test_figure6a_random_tasksets(benchmark, run_once):
     # Trend 3: more tasks give ACS at least as much room at ratio 0.1 (loose check).
     series = result.series(0.1)
     assert series[-1][1] >= series[0][1] - 5.0
+
+
+def test_figure6a_sim_compiled(benchmark, sim_units):
+    """Simulation stage only, compiled event loop (the pre-batching baseline)."""
+    results = benchmark.pedantic(_simulate_compiled, args=(sim_units,),
+                                 rounds=3, iterations=1)
+    assert len(results) == len(sim_units)
+    assert all(result.n_hyperperiods == SIM_HYPERPERIODS for result in results)
+
+
+def test_figure6a_sim_batched(benchmark, sim_units):
+    """Simulation stage only, batched SoA engine — must match compiled bitwise."""
+    results = benchmark.pedantic(_simulate_batched, args=(sim_units,),
+                                 rounds=3, iterations=1)
+    compiled = _simulate_compiled(sim_units)
+    for batched, reference in zip(results, compiled):
+        assert batched.total_energy == reference.total_energy
+        assert batched.energy_per_hyperperiod == reference.energy_per_hyperperiod
+        assert batched.transition_energy == reference.transition_energy
+        assert batched.energy_by_task == reference.energy_by_task
+        assert batched.deadline_misses == reference.deadline_misses
+        assert batched.jobs_completed == reference.jobs_completed

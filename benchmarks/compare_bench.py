@@ -96,7 +96,17 @@ def main(argv: list | None = None) -> int:
     for name in shared:
         base = baseline_walls[name]
         now = fresh_walls[name]
-        delta = 100.0 * (now - base) / base if base > 0 else 0.0
+        if base <= 0:
+            # A zero/negative baseline makes the percentage meaningless; it
+            # used to be silently mapped to 0.0, masking any regression.
+            print(f"  ? {name}: unusable baseline wall time {base:.3f}s (fresh {now:.3f}s)")
+            print(
+                f"::warning title=unusable benchmark baseline::{name} has a "
+                f"non-positive baseline wall time ({base:.3f}s) in "
+                f"{baseline_path.name}; regression check skipped"
+            )
+            continue
+        delta = 100.0 * (now - base) / base
         marker = " "
         if delta > options.threshold:
             marker = "!"
@@ -105,6 +115,14 @@ def main(argv: list | None = None) -> int:
     skipped = sorted(set(fresh_walls) ^ set(baseline_walls))
     if skipped:
         print(f"not compared (present on one side only): {', '.join(skipped)}")
+    dropped = sorted(set(baseline_walls) - set(fresh_walls))
+    if dropped:
+        # Baseline-only benchmarks mean coverage shrank (renamed, deselected
+        # or broken) — a silent drop would hide a benchmark going missing.
+        print(
+            f"::warning title=benchmarks dropped::{len(dropped)} benchmark(s) in "
+            f"{baseline_path.name} missing from the fresh run: {', '.join(dropped)}"
+        )
 
     for name, base, now, delta in regressions:
         print(

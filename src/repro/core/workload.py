@@ -97,4 +97,7 @@ def proportional_split(total: float, weights: Sequence[float]) -> List[float]:
     if weight_sum <= 0:
         # All-zero weights: fall back to an even split.
         return split_evenly(total, len(weights))
-    return [total * w / weight_sum for w in weights]
+    # Divide before multiplying: the ratio w / weight_sum is always in [0, 1],
+    # whereas total * w can hit subnormal underflow (e.g. w = 5e-324) and lose
+    # the proportion entirely before the division.
+    return [total * (w / weight_sum) for w in weights]

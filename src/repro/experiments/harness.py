@@ -36,6 +36,7 @@ from ..offline.baselines import ConstantSpeedScheduler, MaxSpeedScheduler
 from ..offline.schedule import StaticSchedule
 from ..offline.wcs import WCSScheduler
 from ..power.processor import ProcessorModel
+from ..runtime.batched import BatchUnit, simulate_batch
 from ..runtime.policies import DVSPolicy, GreedySlackPolicy
 from ..runtime.results import SimulationResult, improvement_percent
 from ..runtime.simulator import DVSSimulator, SimulationConfig
@@ -81,12 +82,18 @@ class ComparisonConfig:
     #: consulted when ``simulation`` is unset — an explicit
     #: :class:`SimulationConfig` carries its own ``fast_path`` and wins.
     fast_path: bool = True
+    #: Route the simulations through the structure-of-arrays engine of
+    #: :mod:`repro.runtime.batched`: one comparison advances all its method
+    #: simulations in lock-step, and :func:`iter_comparisons` additionally
+    #: batches *across* comparison jobs.  Bitwise-identical results either
+    #: way.  Like ``fast_path``, only consulted when ``simulation`` is unset.
+    batched: bool = False
 
     def simulation_config(self) -> SimulationConfig:
         if self.simulation is not None:
             return self.simulation
         return SimulationConfig(n_hyperperiods=self.n_hyperperiods, seed=self.seed,
-                                fast_path=self.fast_path)
+                                fast_path=self.fast_path, batched=self.batched)
 
     def with_derived_seed(self, *path: int) -> "ComparisonConfig":
         """A copy whose seed is derived from ``(self.seed, *path)``.
@@ -186,6 +193,29 @@ def default_schedulers(processor: ProcessorModel) -> Dict[str, VoltageScheduler]
 # --------------------------------------------------------------------- #
 # Single comparison
 # --------------------------------------------------------------------- #
+def _prepare_units(taskset: TaskSet, processor: ProcessorModel,
+                   methods: Dict[str, VoltageScheduler],
+                   cfg: ComparisonConfig) -> Tuple[Dict[str, StaticSchedule], List[BatchUnit]]:
+    """Schedules plus one simulation work unit per method for one comparison.
+
+    Every unit carries its own deepcopied policy (a stateful policy must not
+    leak one method's runtime history into the next method's simulation) and
+    its own fresh generator seeded with ``cfg.seed`` (paired comparison:
+    every method sees the same workload realisations).
+    """
+    expansion = expand_fully_preemptive(taskset)
+    schedules = {name: scheduler.schedule_expansion(expansion)
+                 for name, scheduler in methods.items()}
+    sim_config = cfg.simulation_config()
+    units = [
+        BatchUnit(schedule=schedules[name], processor=processor,
+                  policy=copy.deepcopy(cfg.policy), config=sim_config,
+                  workload=cfg.workload, rng=np.random.default_rng(cfg.seed))
+        for name in schedules
+    ]
+    return schedules, units
+
+
 def compare_schedulers(taskset: TaskSet, processor: ProcessorModel,
                        schedulers: Optional[Dict[str, VoltageScheduler]] = None,
                        config: Optional[ComparisonConfig] = None) -> ComparisonResult:
@@ -197,19 +227,20 @@ def compare_schedulers(taskset: TaskSet, processor: ProcessorModel,
             f"baseline {cfg.baseline!r} is not among the schedulers {sorted(methods)}"
         )
 
-    expansion = expand_fully_preemptive(taskset)
-    outcomes: Dict[str, MethodOutcome] = {}
-    for name, scheduler in methods.items():
-        schedule = scheduler.schedule_expansion(expansion)
-        # Each method gets its own policy instance: a stateful policy (one
-        # that accumulates across the lifecycle hooks) must not leak one
-        # method's runtime history into the next method's simulation.
-        simulator = DVSSimulator(processor, policy=copy.deepcopy(cfg.policy),
-                                 config=cfg.simulation_config())
-        # Paired comparison: every method sees the same workload realisations.
-        rng = np.random.default_rng(cfg.seed)
-        simulation = simulator.run(schedule, cfg.workload, rng)
-        outcomes[name] = MethodOutcome(method=name, schedule=schedule, simulation=simulation)
+    schedules, units = _prepare_units(taskset, processor, methods, cfg)
+    if cfg.simulation_config().batched:
+        # All methods advance in lock-step through the batched engine.
+        simulations = simulate_batch(units)
+    else:
+        simulations = [
+            DVSSimulator(processor, policy=unit.policy, config=unit.config)
+            .run(unit.schedule, unit.workload, unit.rng)
+            for unit in units
+        ]
+    outcomes = {
+        name: MethodOutcome(method=name, schedule=schedules[name], simulation=simulation)
+        for name, simulation in zip(schedules, simulations)
+    }
     return ComparisonResult(taskset_name=taskset.name, outcomes=outcomes, baseline=cfg.baseline)
 
 
@@ -282,6 +313,42 @@ def _execute_comparison_job(job: ComparisonJob) -> ComparisonResult:
     return compare_schedulers(taskset, job.processor, schedulers, job.config)
 
 
+def _execute_comparison_batch(jobs: Sequence[ComparisonJob]) -> List[ComparisonResult]:
+    """Run many comparison jobs as one lock-step batch of simulation units.
+
+    Every ``(job, method)`` pair becomes one :class:`BatchUnit`; the batched
+    engine advances all of them together.  Each unit still carries its own
+    generator and policy copy, so the results are bitwise-identical to
+    executing the jobs one by one (the batched engine's own contract).
+    Module-level so the process pool can pickle it.
+    """
+    prepared = []
+    units: List[BatchUnit] = []
+    for job in jobs:
+        taskset = job.resolve_taskset()
+        methods = make_schedulers(job.schedulers, job.processor)
+        cfg = job.config
+        if cfg.baseline not in methods:
+            raise ExperimentError(
+                f"baseline {cfg.baseline!r} is not among the schedulers {sorted(methods)}"
+            )
+        schedules, job_units = _prepare_units(taskset, job.processor, methods, cfg)
+        prepared.append((taskset, cfg, schedules))
+        units.extend(job_units)
+    simulations = simulate_batch(units)
+    results: List[ComparisonResult] = []
+    cursor = 0
+    for taskset, cfg, schedules in prepared:
+        outcomes = {}
+        for name in schedules:
+            outcomes[name] = MethodOutcome(method=name, schedule=schedules[name],
+                                           simulation=simulations[cursor])
+            cursor += 1
+        results.append(ComparisonResult(taskset_name=taskset.name, outcomes=outcomes,
+                                        baseline=cfg.baseline))
+    return results
+
+
 def iter_comparisons(jobs: Sequence[ComparisonJob], n_jobs: int = 1,
                      chunksize: int = 1) -> Iterator[ComparisonResult]:
     """Execute comparison jobs, yielding each result as soon as it is known.
@@ -290,10 +357,31 @@ def iter_comparisons(jobs: Sequence[ComparisonJob], n_jobs: int = 1,
     :func:`run_comparisons`.  Streaming is what lets incremental consumers
     (the scenario result store) persist every finished unit immediately, so
     a run killed mid-sweep loses at most the units still in flight.
+
+    When every job opts into the batched engine
+    (``ComparisonConfig(batched=True)``), jobs are executed as lock-step
+    batches instead of one at a time — all jobs at once in-process, or one
+    contiguous chunk per worker on the pool.  Results are still yielded in
+    submission order and remain bitwise-identical; the trade-off is coarser
+    streaming (a batch's results all arrive when the batch completes).
     """
     if n_jobs < 1:
         raise ExperimentError("n_jobs must be at least 1")
     jobs = list(jobs)
+    if all(job.config.simulation_config().batched for job in jobs) and len(jobs) > 1:
+        if n_jobs == 1:
+            yield from _execute_comparison_batch(jobs)
+            return
+        workers = min(n_jobs, len(jobs))
+        # Contiguous, near-even chunks: worker w takes jobs[w::workers] would
+        # reorder results, so slice instead.
+        bounds = np.linspace(0, len(jobs), workers + 1).astype(int)
+        chunks = [jobs[bounds[w]:bounds[w + 1]] for w in range(workers)]
+        chunks = [chunk for chunk in chunks if chunk]
+        with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+            for batch in pool.map(_execute_comparison_batch, chunks):
+                yield from batch
+        return
     if n_jobs == 1 or len(jobs) <= 1:
         for job in jobs:
             yield _execute_comparison_job(job)

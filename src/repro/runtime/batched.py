@@ -1,0 +1,674 @@
+"""Batched structure-of-arrays simulation engine.
+
+The compiled event loop of :mod:`repro.runtime.compiled` advances one
+``(schedule, policy, generator)`` work unit at a time; a Figure-6 sweep at
+paper scale runs hundreds of such units back to back, each one a scalar
+Python loop.  This module advances **many units per process in lock-step**:
+per-job state (``actual``, ``budget``, ``wc_remaining``, ``position``,
+``finished``) lives in 2-D ``(unit, job)`` NumPy arrays padded to the widest
+unit, per-unit event cursors advance under vectorized masks, and each step
+dispatches one job per unit with a handful of whole-array operations instead
+of one Python event loop iteration per unit.
+
+**Determinism contract.**  For every unit the engine produces a
+:class:`~repro.runtime.results.SimulationResult` that is *bitwise identical*
+to the compiled path (and therefore to the reference loop) run on that unit
+alone:
+
+* workload draws go through the unit's own generator with one
+  :meth:`~repro.workloads.distributions.WorkloadModel.sample_batch` call per
+  unit — exactly the call the compiled path makes — so the RNG stream
+  contract is preserved per unit and the harness's SeedSequence-derived
+  per-unit seeds reproduce the serial results bit for bit;
+* mask-based job selection picks the minimum dispatch rank over the eligible
+  set, which is provably the job the compiled ready-heap pops (eligibility is
+  monotone within a hyperperiod and ranks are a strict total order);
+* every floating-point quantity is produced by the same IEEE-754 operations
+  in the same per-unit order as the scalar loops (NumPy element-wise float64
+  arithmetic is bitwise-identical to Python float arithmetic), including the
+  first-touch insertion order of ``energy_by_task``.
+
+**Fallback.**  The vectorized core covers the four built-in policies (their
+arithmetic — ``static`` and ``greedy`` first and foremost, plus ``lookahead``
+and ``proportional`` — is branch-free enough to express with masks), the
+linear delay law, the stock :class:`~repro.power.transition.TransitionModel`
+and the default ``record``/no-timeline/continuous-voltage configuration.
+Anything else — subclassed policies (whose hooks and overrides must observe
+the exact scalar call sequence), CMOS-law processors, discrete voltage
+levels, recorded timelines, ``on_deadline_miss="raise"`` — falls back
+*per unit* to :func:`repro.runtime.compiled.run_compiled`, so a mixed batch
+still returns the right result for every unit.  Policy lifecycle hooks are
+not invoked from the vectorized core (the built-in policies define them as
+no-ops, which is part of the gate); ``on_simulation_start`` is still called
+per unit for symmetry with the scalar paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union, TYPE_CHECKING
+
+import numpy as np
+
+from ..offline.schedule import StaticSchedule
+from ..power.processor import ProcessorModel
+from ..power.transition import TransitionModel
+from ..workloads.distributions import NormalWorkload, WorkloadModel
+from .compiled import CompiledSchedule, run_compiled
+from .policies import (
+    DVSPolicy,
+    GreedySlackPolicy,
+    LookaheadSlackPolicy,
+    ProportionalSlackPolicy,
+    StaticReplayPolicy,
+    get_policy,
+)
+from .results import DeadlineMiss, SimulationResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .simulator import SimulationConfig
+
+__all__ = ["BatchUnit", "simulate_batch", "batch_fallback_reason"]
+
+_EPS = 1e-9
+
+#: Rank-padding sentinel: real dispatch ranks are tiny (< n_jobs), so a
+#: surviving sentinel after the masked min means "no eligible job".
+_NO_RANK = np.int64(2**31)
+
+#: Policy types the vectorized core reproduces exactly (checked by *exact*
+#: type: a subclass may override hooks or arithmetic and must take the
+#: compiled path, which honours the full scalar call sequence).
+_POLICY_IDS = {
+    StaticReplayPolicy: 0,
+    GreedySlackPolicy: 1,
+    LookaheadSlackPolicy: 2,
+    ProportionalSlackPolicy: 3,
+}
+
+
+@dataclass
+class BatchUnit:
+    """One simulation work unit of a batch.
+
+    ``rng`` must be positioned exactly where the scalar path's generator
+    would be (the harness passes ``np.random.default_rng(seed)`` with the
+    unit's own derived seed); ``workload`` defaults to the paper's
+    :class:`~repro.workloads.distributions.NormalWorkload`.
+    """
+
+    schedule: StaticSchedule
+    processor: ProcessorModel
+    policy: Union[DVSPolicy, str]
+    config: "SimulationConfig"
+    workload: Optional[WorkloadModel] = None
+    rng: Optional[np.random.Generator] = None
+
+    def resolved(self) -> "BatchUnit":
+        policy = get_policy(self.policy) if isinstance(self.policy, str) else self.policy
+        workload = self.workload if self.workload is not None else NormalWorkload()
+        rng = self.rng if self.rng is not None else np.random.default_rng(self.config.seed)
+        return BatchUnit(schedule=self.schedule, processor=self.processor, policy=policy,
+                         config=self.config, workload=workload, rng=rng)
+
+
+def batch_fallback_reason(unit: BatchUnit) -> Optional[str]:
+    """Why ``unit`` must take the compiled fallback (``None`` = vectorizable)."""
+    policy = unit.policy
+    if isinstance(policy, str):
+        policy = get_policy(policy)
+    if type(policy) not in _POLICY_IDS:
+        return f"policy type {type(policy).__name__} is not a built-in"
+    config = unit.config
+    if config.record_timeline:
+        return "record_timeline"
+    if config.on_deadline_miss != "record":
+        return f"on_deadline_miss={config.on_deadline_miss!r}"
+    if config.voltage_levels is not None:
+        return "discrete voltage levels"
+    if type(config.transition_model) is not TransitionModel:
+        return f"transition model type {type(config.transition_model).__name__}"
+    if unit.processor.law != "linear":
+        return f"processor law {unit.processor.law!r}"
+    instances = unit.schedule.expansion.instances
+    if not instances:
+        return "empty schedule"
+    if any(not unit.schedule.entries_for_instance(instance) for instance in instances):
+        return "job without schedule entries"
+    return None
+
+
+def simulate_batch(units: Sequence[BatchUnit]) -> List[SimulationResult]:
+    """Simulate every unit; bitwise-identical to running each through the compiled path."""
+    resolved = [unit.resolved() for unit in units]
+    results: List[Optional[SimulationResult]] = [None] * len(resolved)
+    vectorized: List[int] = []
+    for index, unit in enumerate(resolved):
+        if batch_fallback_reason(unit) is None:
+            vectorized.append(index)
+        else:
+            results[index] = run_compiled(unit.schedule, unit.processor, unit.policy,
+                                          unit.config, unit.workload, unit.rng)
+    if vectorized:
+        engine = _SoAEngine([resolved[index] for index in vectorized])
+        for index, result in zip(vectorized, engine.run()):
+            results[index] = result
+    return results  # type: ignore[return-value]
+
+
+class _SoAEngine:
+    """Lock-step structure-of-arrays event loop over vectorizable units.
+
+    Shapes: ``U`` units, ``J`` = widest job count, ``E`` = widest per-job
+    entry count, ``T`` = widest task count.  Padding jobs are permanently
+    ``finished``; padding entries are never addressed because ``position``
+    stays within each job's real entry range.
+    """
+
+    def __init__(self, units: List[BatchUnit]) -> None:
+        self.units = units
+        compiled = [CompiledSchedule(unit.schedule, unit.processor) for unit in units]
+        self.compiled = compiled
+        U = len(units)
+        J = max(c.n_jobs for c in compiled)
+        E = max(max(len(b) for b in c.entry_budgets) for c in compiled)
+
+        self.n_jobs = np.array([c.n_jobs for c in compiled], dtype=np.int64)
+        self.n_hp = np.array([u.config.n_hyperperiods for u in units], dtype=np.int64)
+        self.hyperperiod = np.array([c.hyperperiod for c in compiled], dtype=float)
+
+        # Per-unit processor/transition constants (linear law only).
+        self.fmax = np.array([u.processor.fmax for u in units], dtype=float)
+        self.vmax = np.array([u.processor.vmax for u in units], dtype=float)
+        self.vmin = np.array([u.processor.vmin for u in units], dtype=float)
+        self.k = np.array([u.processor._k for u in units], dtype=float)
+        # Same computation as the ``ProcessorModel.fmin`` property (vmin / k).
+        self.fmin = np.array([u.processor.fmin for u in units], dtype=float)
+        self.trans_free = np.array(
+            [u.config.transition_model.is_free for u in units], dtype=bool)
+        # transition_energy computes efficiency_loss * cdd * |dv²| with this
+        # exact association (left-to-right), so the pre-multiplied constant
+        # is bitwise-equivalent.
+        self.trans_ec = np.array(
+            [u.config.transition_model.efficiency_loss * u.config.transition_model.cdd
+             for u in units], dtype=float)
+        self.policy_id = np.array(
+            [_POLICY_IDS[type(unit.policy)] for unit in units], dtype=np.int64)
+
+        # Per-(unit, job) static data, padded to J columns.
+        self.valid = np.zeros((U, J), dtype=bool)
+        self.rel = np.zeros((U, J), dtype=float)
+        self.dl = np.zeros((U, J), dtype=float)
+        self.fin_end = np.zeros((U, J), dtype=float)
+        self.wc_total = np.zeros((U, J), dtype=float)
+        self.first_budget = np.zeros((U, J), dtype=float)
+        self.wcec = np.zeros((U, J), dtype=float)
+        self.ceff = np.ones((U, J), dtype=float)
+        self.rank = np.full((U, J), 2**31, dtype=np.int64)
+        self.job_of_rank = np.zeros((U, J), dtype=np.int64)
+        self.last_entry = np.zeros((U, J), dtype=np.int64)
+        self.task_of_job = np.zeros((U, J), dtype=np.int64)
+
+        self.entry_budget = np.zeros((U, J, E), dtype=float)
+        self.entry_end = np.zeros((U, J, E), dtype=float)
+        self.entry_slot = np.zeros((U, J, E), dtype=float)
+        self.entry_planned = np.zeros((U, J, E), dtype=float)
+
+        # Sorted release times (relative) with a +inf sentinel column: the
+        # per-unit release cursor indexes this row to find the next release.
+        self.rel_sorted = np.full((U, J + 1), np.inf, dtype=float)
+
+        self.task_names: List[List[str]] = []
+        self.job_names: List[List[str]] = []
+        self.job_indices: List[List[int]] = []
+        n_tasks = []
+        for u, c in enumerate(compiled):
+            n = c.n_jobs
+            self.valid[u, :n] = True
+            self.rel[u, :n] = c.release_list
+            self.dl[u, :n] = c.deadline_list
+            self.fin_end[u, :n] = c.final_end_list
+            self.wc_total[u, :n] = c.wc_total_list
+            self.first_budget[u, :n] = c.first_budget_list
+            self.wcec[u, :n] = c.wcecs
+            self.ceff[u, :n] = c.ceffs
+            self.rank[u, :n] = c.rank_of_job
+            self.job_of_rank[u, :n] = c.job_of_rank
+            names: List[str] = []
+            index_of: Dict[str, int] = {}
+            for j in range(n):
+                budgets = c.entry_budgets[j]
+                self.last_entry[u, j] = len(budgets) - 1
+                self.entry_budget[u, j, :len(budgets)] = budgets
+                self.entry_end[u, j, :len(budgets)] = c.entry_end_times[j]
+                self.entry_slot[u, j, :len(budgets)] = c.entry_slot_starts[j]
+                self.entry_planned[u, j, :len(budgets)] = c.entry_planned[j]
+                name = c.task_names[j]
+                if name not in index_of:
+                    index_of[name] = len(names)
+                    names.append(name)
+                self.task_of_job[u, j] = index_of[name]
+            self.rel_sorted[u, :n] = np.sort(self.rel[u, :n])
+            self.task_names.append(names)
+            self.job_names.append(list(c.task_names))
+            self.job_indices.append(list(c.job_indices))
+            n_tasks.append(len(names))
+        T = max(n_tasks)
+        self.n_tasks_arr = np.array(n_tasks, dtype=np.int64)
+        self.max_entries = np.array(
+            [max(len(b) for b in c.entry_budgets) for c in compiled], dtype=np.int64)
+
+        # Whole-run workload draws, one sample_batch call per unit exactly as
+        # the compiled path makes it (the bitwise RNG-stream contract), rows
+        # padded to (widest horizon, J) so a hyperperiod reset is one gather.
+        self.samples_arr = np.zeros((U, int(self.n_hp.max()), J), dtype=float)
+        for u, (unit, c) in enumerate(zip(units, compiled)):
+            drawn = unit.workload.sample_batch(unit.rng, c.tasks, int(self.n_hp[u]))
+            self.samples_arr[u, :int(self.n_hp[u]), :c.n_jobs] = drawn
+
+        # Dynamic state.
+        self.active = np.ones(U, dtype=bool)
+        self.time = np.zeros(U, dtype=float)
+        self.offset = np.zeros(U, dtype=float)
+        self.hp_index = np.zeros(U, dtype=np.int64)
+        self.cursor = np.zeros(U, dtype=np.int64)
+        self.actual = np.zeros((U, J), dtype=float)
+        self.budget = np.zeros((U, J), dtype=float)
+        self.wc_rem = np.zeros((U, J), dtype=float)
+        self.position = np.zeros((U, J), dtype=np.int64)
+        self.unfinished = np.zeros((U, J), dtype=bool)
+        #: Jobs whose current entry budget is exhausted but whose position has
+        #: not been advanced yet (maintained incrementally at dispatch/reset
+        #: time so the step loop never scans all budgets).
+        self.pending_advance = np.zeros((U, J), dtype=bool)
+        self.rel_abs = np.zeros((U, J), dtype=float)
+        self.dl_abs = np.zeros((U, J), dtype=float)
+        self.fin_abs = np.zeros((U, J), dtype=float)
+        self.cur_slot_abs = np.zeros((U, J), dtype=float)
+        self.cur_end_abs = np.zeros((U, J), dtype=float)
+        self.cur_planned = np.zeros((U, J), dtype=float)
+        self.has_voltage = np.zeros(U, dtype=bool)
+        self.cur_voltage = np.zeros(U, dtype=float)
+        self.energy_hp = np.zeros(U, dtype=float)
+        self.trans_hp = np.zeros(U, dtype=float)
+        self.trans_total = np.zeros(U, dtype=float)
+        self.task_energy = np.zeros((U, T), dtype=float)
+        self.task_touched = np.zeros((U, T), dtype=bool)
+        self.task_order: List[List[int]] = [[] for _ in range(U)]
+        self.energy_per_hp: List[List[float]] = [[] for _ in range(U)]
+        self.misses: List[List[DeadlineMiss]] = [[] for _ in range(U)]
+        self.u_range = np.arange(U)
+
+        # Voltage history only feeds transition accounting; with every model
+        # free the charge is identically zero, so tracking can be skipped.
+        self.track_voltage = not bool(np.all(self.trans_free))
+        #: Distinct policy ids in the batch (static; recomputed on compaction).
+        self.pid_list = sorted(set(self.policy_id.tolist()))
+        #: Row -> original unit index; rows of exhausted units are dropped by
+        #: :meth:`_compact`, their results already assembled into ``done``.
+        self.slot = np.arange(U)
+        self.done: List[Optional[SimulationResult]] = [None] * U
+        self._want_compact = False
+
+    # ------------------------------------------------------------------ #
+    # Hyperperiod reset (mirrors CompiledRunner.reset_hyperperiod)
+    # ------------------------------------------------------------------ #
+    def _reset_lanes(self, lanes: np.ndarray) -> None:
+        offset = self.offset
+        offset[lanes] = self.hp_index[lanes] * self.hyperperiod[lanes]
+        rows = self.samples_arr[lanes, self.hp_index[lanes]]
+        cycles = np.minimum(np.maximum(rows, 0.0), self.wcec[lanes])
+        self.actual[lanes] = cycles
+        self.budget[lanes] = self.first_budget[lanes]
+        self.wc_rem[lanes] = self.wc_total[lanes]
+        self.position[lanes] = 0
+        self.unfinished[lanes] = (cycles > _EPS) & self.valid[lanes]
+        self.pending_advance[lanes] = (self.first_budget[lanes] <= _EPS) & \
+            (self.last_entry[lanes] > 0)
+        off = offset[lanes][:, None]
+        self.rel_abs[lanes] = self.rel[lanes] + off
+        self.dl_abs[lanes] = self.dl[lanes] + off
+        self.fin_abs[lanes] = self.fin_end[lanes] + off
+        self.cur_slot_abs[lanes] = self.entry_slot[lanes, :, 0] + off
+        self.cur_end_abs[lanes] = self.entry_end[lanes, :, 0] + off
+        self.cur_planned[lanes] = self.entry_planned[lanes, :, 0]
+        self.cursor[lanes] = 0
+        self.time[lanes] = offset[lanes]
+        self.energy_hp[lanes] = 0.0
+        self.trans_hp[lanes] = 0.0
+        self.has_voltage[lanes] = False
+
+    def _finish_hyperperiod(self, lanes: np.ndarray) -> None:
+        for u in lanes:
+            self.energy_per_hp[u].append(float(self.energy_hp[u]))
+        # Per-hyperperiod fold in hyperperiod order, as the scalar driver does.
+        self.trans_total[lanes] = self.trans_total[lanes] + self.trans_hp[lanes]
+        self.hp_index[lanes] += 1
+        exhausted = lanes[self.hp_index[lanes] >= self.n_hp[lanes]]
+        if exhausted.size:
+            # Assemble finished units' results now, while their rows are
+            # still present; a later compaction may drop the rows entirely.
+            for u in exhausted:
+                self.done[int(self.slot[u])] = self._result(int(u))
+            self.active[exhausted] = False
+            remaining = int(self.active.sum())
+            if remaining <= 0.75 * self.active.size and self.active.size >= 8:
+                self._want_compact = True
+        continuing = lanes[self.hp_index[lanes] < self.n_hp[lanes]]
+        if continuing.size:
+            self._reset_lanes(continuing)
+
+    # Attributes compacted with the unit rows, grouped by shape.
+    _ROW_1D = ("n_jobs", "n_hp", "hyperperiod", "fmax", "vmax", "vmin", "k",
+               "fmin", "trans_free", "trans_ec", "policy_id", "active", "time",
+               "offset", "hp_index", "cursor", "has_voltage", "cur_voltage",
+               "energy_hp", "trans_hp", "trans_total", "slot", "max_entries",
+               "n_tasks_arr")
+    _ROW_2D = ("valid", "rel", "dl", "fin_end", "wc_total", "first_budget",
+               "wcec", "ceff", "rank", "job_of_rank", "last_entry",
+               "task_of_job", "actual",
+               "budget", "wc_rem", "position", "unfinished", "pending_advance",
+               "rel_abs", "dl_abs", "fin_abs", "cur_slot_abs", "cur_end_abs",
+               "cur_planned")
+    _ROW_3D = ("entry_budget", "entry_end", "entry_slot", "entry_planned")
+    _ROW_LISTS = ("units", "compiled", "task_names", "job_names",
+                  "job_indices", "task_order", "energy_per_hp", "misses")
+
+    def _compact(self) -> None:
+        """Drop rows of exhausted units and re-pad to the surviving widths.
+
+        Rows finish at very different times (heterogeneous horizons), so
+        without compaction every step keeps paying for the widest, longest
+        unit in the original batch.  Pure row slicing — the surviving rows'
+        values are untouched, so results stay bitwise identical.
+        """
+        keep = np.nonzero(self.active)[0]
+        if keep.size == self.active.size:
+            return
+        if keep.size == 0:
+            self.active = self.active[:0]
+            return
+        J = int(self.n_jobs[keep].max())
+        E = int(self.max_entries[keep].max())
+        T = int(self.n_tasks_arr[keep].max())
+        for name in self._ROW_1D:
+            setattr(self, name, getattr(self, name)[keep])
+        for name in self._ROW_2D:
+            setattr(self, name, getattr(self, name)[keep][:, :J])
+        self.rel_sorted = self.rel_sorted[keep][:, :J + 1]
+        for name in self._ROW_3D:
+            setattr(self, name, getattr(self, name)[keep][:, :J, :E])
+        self.task_energy = self.task_energy[keep][:, :T]
+        self.task_touched = self.task_touched[keep][:, :T]
+        self.samples_arr = self.samples_arr[keep][:, :int(self.n_hp.max()), :J]
+        for name in self._ROW_LISTS:
+            values = getattr(self, name)
+            setattr(self, name, [values[index] for index in keep])
+        self.u_range = np.arange(keep.size)
+        self.pid_list = sorted(set(self.policy_id.tolist()))
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+    def run(self) -> List[SimulationResult]:
+        for unit in self.units:
+            unit.policy.on_simulation_start(unit.schedule, unit.processor)
+        self._reset_lanes(self.u_range)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            while True:
+                if self._want_compact:
+                    self._compact()
+                    self._want_compact = False
+                if not self.active.any():
+                    break
+                self._step()
+        return list(self.done)  # type: ignore[arg-type]
+
+    def _step(self) -> None:
+        active = self.active
+        t_eps = self.time + _EPS
+        # Exhausted units keep an all-False ``unfinished`` row, so ``live``
+        # needs no explicit ``active`` term.
+        released = self.rel_abs <= t_eps[:, None]
+        live = released & self.unfinished
+
+        # Advance positions past exhausted budgets (the eligible_time /
+        # current_entry side effect), to convergence.  ``pending_advance``
+        # already knows every exhausted budget, so no full scan is needed.
+        advance = self.pending_advance & live
+        while advance.any():
+            uu, jj = np.nonzero(advance)
+            self.position[uu, jj] += 1
+            pp = self.position[uu, jj]
+            self.budget[uu, jj] = self.entry_budget[uu, jj, pp]
+            self.cur_slot_abs[uu, jj] = self.entry_slot[uu, jj, pp] + self.offset[uu]
+            self.cur_end_abs[uu, jj] = self.entry_end[uu, jj, pp] + self.offset[uu]
+            self.cur_planned[uu, jj] = self.entry_planned[uu, jj, pp]
+            self.pending_advance[uu, jj] = (self.budget[uu, jj] <= _EPS) & \
+                (pp < self.last_entry[uu, jj])
+            advance = self.pending_advance & live
+
+        # A live job is eligible once its slot has started: live already
+        # implies released, so max(release, slot_start) <= t reduces to the
+        # slot comparison.
+        eligible = live & (self.cur_slot_abs <= t_eps[:, None])
+        # One masked reduction answers both questions at once: the minimum
+        # dispatch rank over the eligible set is the ready-heap pop (ranks are
+        # a per-unit permutation, so ``job_of_rank`` inverts the winner), and
+        # the initial value surviving means nothing was eligible.  Min over a
+        # set of distinct ints picks the same element as argmin over the
+        # penalty formulation — bitwise-identical dispatch order.
+        min_rank = np.min(self.rank, axis=1, initial=_NO_RANK, where=eligible)
+        any_eligible = min_rank < _NO_RANK
+
+        # Next release per unit: first sorted release strictly beyond time+eps.
+        next_release = self.rel_sorted[self.u_range, self.cursor] + self.offset
+        behind = active & (next_release <= t_eps)
+        while behind.any():
+            self.cursor[behind] += 1
+            next_release = self.rel_sorted[self.u_range, self.cursor] + self.offset
+            behind = active & (next_release <= t_eps)
+
+        executing = active & any_eligible
+        stalled = active ^ executing
+        if stalled.any():
+            self._resolve_stalls(stalled, live, next_release)
+        if executing.any():
+            lanes = np.nonzero(executing)[0]
+            self._execute(lanes, self.job_of_rank[lanes, min_rank[lanes]],
+                          next_release)
+
+    def _resolve_stalls(self, stalled: np.ndarray, live: np.ndarray,
+                        next_release: np.ndarray) -> None:
+        # Stalled rows are few; compress to them before any (row, job) work.
+        rows = np.nonzero(stalled)[0]
+        live_rows = live[rows]
+        any_live = live_rows.any(axis=1)
+        throttled = rows[any_live]
+        if throttled.size:
+            # Earliest wake-up among live jobs — max(release, slot_start) —
+            # capped by the next release: exactly the compiled loop's
+            # throttled-heap jump.  (Masked min reduction; min is
+            # order-exact, so bitwise-equal to the where/inf formulation.)
+            eligible_at = np.maximum(self.rel_abs[throttled],
+                                     self.cur_slot_abs[throttled])
+            wake = np.min(eligible_at, axis=1, initial=np.inf,
+                          where=live_rows[any_live])
+            wake = np.minimum(wake, next_release[throttled])
+            self.time[throttled] = np.maximum(self.time[throttled], wake)
+        idle = rows[~any_live]
+        if idle.size:
+            release = next_release[idle]
+            finite = np.isfinite(release)
+            jump = idle[finite]
+            if jump.size:
+                self.time[jump] = np.maximum(self.time[jump], release[finite])
+            done = idle[~finite]
+            if done.size:
+                self._finish_hyperperiod(done)
+
+    def _execute(self, lanes: np.ndarray, sel: np.ndarray,
+                 next_release: np.ndarray) -> None:
+        # ``sel`` is the dispatched job per lane, already resolved in _step
+        # from the masked rank reduction.
+        b_sel = self.budget[lanes, sel]
+        a_sel = self.actual[lanes, sel]
+        wc_sel = self.wc_rem[lanes, sel]
+        end_abs = self.cur_end_abs[lanes, sel]
+        planned = self.cur_planned[lanes, sel]
+        dl_abs = self.dl_abs[lanes, sel]
+        fin_abs = self.fin_abs[lanes, sel]
+        now = self.time[lanes]
+        fmax = self.fmax[lanes]
+        fmin = self.fmin[lanes]
+
+        frequency = self._policy_frequency(
+            lanes, now, end_abs, b_sel, planned, wc_sel, dl_abs, fin_abs, fmin, fmax)
+
+        # voltage_for_frequency, linear law, branch ladder in priority order.
+        vmin = self.vmin[lanes]
+        vmax = self.vmax[lanes]
+        voltage = np.minimum(np.maximum(frequency * self.k[lanes], vmin), vmax)
+        voltage = np.where(frequency <= fmin, vmin, voltage)
+        voltage = np.where(frequency >= fmax, vmax, voltage)
+        voltage = np.where(frequency <= 0.0, vmin, voltage)
+        frequency = voltage / self.k[lanes]
+
+        budget_cycles = np.maximum(np.minimum(b_sel, a_sel), 0.0)
+        zero = budget_cycles <= _EPS
+        if zero.any():
+            # After the position advance above, a zero-cycle dispatch of a
+            # live job (actual > eps) implies budget <= eps at the last
+            # entry: the numerical fringe, which finishes at fmax/vmax.  The
+            # scalar loops' requeue branch is unreachable under the same
+            # invariants; guard it rather than silently stalling the lane.
+            fringe = zero & (b_sel <= _EPS) & \
+                (self.position[lanes, sel] >= self.last_entry[lanes, sel])
+            if not bool(np.all(fringe[zero])):
+                raise AssertionError(
+                    "batched engine: zero-budget dispatch outside the fmax fringe")
+            frequency = np.where(fringe, fmax, frequency)
+            voltage = np.where(fringe, vmax, voltage)
+            budget_cycles = np.where(fringe, a_sel, budget_cycles)
+
+        # Transition accounting, after the zero-budget handling (the voltage
+        # the dispatch actually executes at) — same order as the fixed
+        # scalar paths.  Skipped wholesale when every model is free (the
+        # voltage history then feeds nothing).
+        if self.track_voltage:
+            charge = self.has_voltage[lanes] & ~self.trans_free[lanes]
+            if charge.any():
+                previous = self.cur_voltage[lanes]
+                delta = np.where(voltage == previous, 0.0,
+                                 self.trans_ec[lanes] * np.abs(
+                                     voltage * voltage - previous * previous))
+                self.trans_hp[lanes] += np.where(charge, delta, 0.0)
+            self.cur_voltage[lanes] = voltage
+            self.has_voltage[lanes] = True
+
+        duration = budget_cycles / frequency
+        until_release = next_release[lanes] - now
+        preempt = until_release < duration - _EPS
+        duration = np.where(preempt, np.maximum(until_release, 0.0), duration)
+
+        cycles = duration * frequency
+        segment = cycles * ((self.ceff[lanes, sel] * voltage) * voltage)
+        self.energy_hp[lanes] += segment
+        self.time[lanes] = now + duration
+
+        tasks = self.task_of_job[lanes, sel]
+        self.task_energy[lanes, tasks] += segment
+        touched = self.task_touched[lanes, tasks]
+        if not touched.all():
+            for where in np.nonzero(~touched)[0]:
+                u = lanes[where]
+                t = tasks[where]
+                self.task_touched[u, t] = True
+                self.task_order[u].append(int(t))
+
+        new_actual = np.maximum(a_sel - cycles, 0.0)
+        new_budget = np.maximum(b_sel - cycles, 0.0)
+        self.actual[lanes, sel] = new_actual
+        self.budget[lanes, sel] = new_budget
+        self.wc_rem[lanes, sel] = np.maximum(wc_sel - cycles, 0.0)
+        self.pending_advance[lanes, sel] = (new_budget <= _EPS) & \
+            (self.position[lanes, sel] < self.last_entry[lanes, sel])
+
+        finished = new_actual <= _EPS
+        if finished.any():
+            self.unfinished[lanes[finished], sel[finished]] = False
+            finish_time = self.time[lanes]
+            missed = finished & (finish_time > dl_abs + 1e-6 * np.maximum(1.0, dl_abs))
+            for where in np.nonzero(missed)[0]:
+                u = int(lanes[where])
+                j = int(sel[where])
+                self.misses[u].append(DeadlineMiss(
+                    task_name=self.job_names[u][j],
+                    job_index=self.job_indices[u][j],
+                    hyperperiod_index=int(self.hp_index[u]),
+                    deadline=float(dl_abs[where]),
+                    finish_time=float(finish_time[where]),
+                ))
+
+    def _policy_frequency(self, lanes, now, end_abs, b_sel, planned, wc_sel,
+                          dl_abs, fin_abs, fmin, fmax) -> np.ndarray:
+        """Vectorized ``frequency_from`` of the built-in policies."""
+        if len(self.pid_list) == 1:
+            # Homogeneous batch (the common sweep shape): no mask gathers.
+            return self._policy_kernel(self.pid_list[0], now, end_abs, b_sel,
+                                       planned, wc_sel, dl_abs, fin_abs,
+                                       fmin, fmax)
+        frequency = np.empty(lanes.size, dtype=float)
+        policies = self.policy_id[lanes]
+        for pid in self.pid_list:
+            m = policies == pid
+            if not m.any():
+                continue
+            frequency[m] = self._policy_kernel(
+                pid, now[m], end_abs[m], b_sel[m], planned[m], wc_sel[m],
+                dl_abs[m], fin_abs[m], fmin[m], fmax[m])
+        return frequency
+
+    @staticmethod
+    def _policy_kernel(pid, now, end_abs, b_sel, planned, wc_sel,
+                       dl_abs, fin_abs, fmin, fmax) -> np.ndarray:
+        if pid == 0:  # static: clip_frequency(planned)
+            return np.minimum(np.maximum(planned, fmin), fmax)
+        if pid == 1:  # greedy: sub-instance budget over its end-time
+            available = end_abs - now
+            work = b_sel
+        elif pid == 2:  # lookahead: job work over its final end-time
+            # job_final_end_time is always finite here (the compiled
+            # schedule fills it from the last entry or the deadline), so
+            # the policy's isfinite fallback never triggers.
+            available = fin_abs - now
+            work = wc_sel
+        else:  # proportional: job work over its deadline
+            available = dl_abs - now
+            work = wc_sel
+        f = np.minimum(np.maximum(work / available, fmin), fmax)
+        f = np.where(available <= 0, fmax, f)
+        return np.where(work <= 0, fmin, f)
+
+    # ------------------------------------------------------------------ #
+    # Result assembly
+    # ------------------------------------------------------------------ #
+    def _result(self, u: int) -> SimulationResult:
+        unit = self.units[u]
+        per_hp = self.energy_per_hp[u]
+        energy_by_task = {
+            self.task_names[u][t]: float(self.task_energy[u, t])
+            for t in self.task_order[u]
+        }
+        return SimulationResult(
+            method=unit.schedule.method,
+            policy=unit.policy.name,
+            n_hyperperiods=int(self.n_hp[u]),
+            total_energy=float(sum(per_hp)),
+            energy_per_hyperperiod=per_hp,
+            transition_energy=float(self.trans_total[u]),
+            energy_by_task=energy_by_task,
+            deadline_misses=self.misses[u],
+            jobs_completed=int(self.n_jobs[u] * self.n_hp[u]),
+            timeline=None,
+        )

@@ -44,13 +44,14 @@ from ..core.errors import DeadlineMissError
 from ..core.timeline import ExecutionSegment, Timeline
 from ..offline.schedule import StaticSchedule
 from ..power.processor import ProcessorModel
-from .results import DeadlineMiss
+from .results import DeadlineMiss, SimulationResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..workloads.distributions import WorkloadModel
     from .policies import DVSPolicy
     from .simulator import SimulationConfig
 
-__all__ = ["CompiledSchedule", "CompiledRunner", "planned_frequency_array"]
+__all__ = ["CompiledSchedule", "CompiledRunner", "planned_frequency_array", "run_compiled"]
 
 _EPS = 1e-9
 
@@ -335,10 +336,6 @@ class CompiledRunner:
                 voltage = clip_voltage(voltage)
             frequency = processor_frequency(voltage)
 
-            if current_voltage is not None and not transition_free:
-                transition_energy += transition_model.transition_energy(current_voltage, voltage)
-            current_voltage = voltage
-
             next_release = None
             if release_cursor < n_jobs:
                 next_release = release_abs[release_order[release_cursor]]
@@ -359,6 +356,15 @@ class CompiledRunner:
                     else:
                         heappush(throttled, (wake, rank_of_job[job]))
                     continue
+
+            # Transition accounting happens only once the dispatch is known to
+            # execute, at the voltage it actually executes at: a zero-budget
+            # requeue switches nothing, and the fmax fringe above runs at vmax,
+            # not at the pre-override policy voltage.
+            if current_voltage is not None and not transition_free:
+                transition_energy += transition_model.transition_energy(current_voltage, voltage)
+            current_voltage = voltage
+
             duration = budget_cycles / frequency
             preempted = False
             if next_release is not None and next_release - time_now < duration - _EPS:
@@ -419,3 +425,54 @@ class CompiledRunner:
                 admit_releases(time_now)
 
         return energy, transition_energy
+
+
+def run_compiled(schedule: StaticSchedule, processor: ProcessorModel, policy: "DVSPolicy",
+                 config: "SimulationConfig", workload_model: "WorkloadModel",
+                 generator: np.random.Generator) -> SimulationResult:
+    """Run one full simulation on the compiled event loop.
+
+    This is the whole-run driver behind ``DVSSimulator.run`` (``fast_path=True``)
+    — exposed at module level so the batched engine of
+    :mod:`repro.runtime.batched` can fall back to it per work unit without
+    importing the simulator (which imports this module).
+    """
+    compiled = CompiledSchedule(schedule, processor)
+    runner = CompiledRunner(compiled, processor, policy, config)
+    hyperperiod = compiled.hyperperiod
+    n_hyperperiods = config.n_hyperperiods
+
+    # One batched draw for the whole run: row i holds hyperperiod i's
+    # actual cycles, consumed from the generator in exactly the order the
+    # reference path's per-job scalar draws would be.
+    samples = workload_model.sample_batch(generator, compiled.tasks, n_hyperperiods)
+
+    timeline = Timeline() if config.record_timeline else None
+    energy_per_hyperperiod: List[float] = []
+    energy_by_task: Dict[str, float] = {}
+    misses: List[DeadlineMiss] = []
+    transition_energy_total = 0.0
+
+    policy.on_simulation_start(schedule, processor)
+    for hp_index in range(n_hyperperiods):
+        offset = hp_index * hyperperiod
+        policy.on_hyperperiod_start(hp_index, offset)
+        runner.reset_hyperperiod(samples[hp_index])
+        hp_energy, hp_transition_energy = runner.run_hyperperiod(
+            offset, hp_index, energy_by_task, timeline, misses,
+        )
+        energy_per_hyperperiod.append(hp_energy)
+        transition_energy_total += hp_transition_energy
+
+    return SimulationResult(
+        method=schedule.method,
+        policy=policy.name,
+        n_hyperperiods=n_hyperperiods,
+        total_energy=float(sum(energy_per_hyperperiod)),
+        energy_per_hyperperiod=energy_per_hyperperiod,
+        transition_energy=transition_energy_total,
+        energy_by_task=energy_by_task,
+        deadline_misses=misses,
+        jobs_completed=compiled.n_jobs * n_hyperperiods,
+        timeline=timeline,
+    )

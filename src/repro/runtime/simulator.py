@@ -29,7 +29,7 @@ from ..power.processor import ProcessorModel
 from ..power.transition import TransitionModel
 from ..power.voltage import VoltageLevels
 from ..workloads.distributions import WorkloadModel, NormalWorkload
-from .compiled import CompiledRunner, CompiledSchedule, planned_frequency_array
+from .compiled import planned_frequency_array, run_compiled
 from .policies import DVSPolicy, GreedySlackPolicy, SpeedRequest, get_policy
 from .results import DeadlineMiss, SimulationResult
 
@@ -65,6 +65,14 @@ class SimulationConfig:
         (default).  The reference loop is retained behind ``False`` for
         debugging and for the bitwise-equivalence suite; both paths produce
         identical results for identical seeds.
+    batched:
+        Route the run through the structure-of-arrays engine of
+        :mod:`repro.runtime.batched` (takes precedence over ``fast_path``).
+        A single run gains little — the engine pays off when the harness
+        batches many work units into one lock-step advance — but results are
+        bitwise-identical to both scalar paths either way; configurations the
+        vectorized core does not cover fall back to the compiled loop per
+        unit (see the module docstring of :mod:`repro.runtime.batched`).
     """
 
     n_hyperperiods: int = 1
@@ -75,6 +83,7 @@ class SimulationConfig:
     voltage_levels: Optional[VoltageLevels] = None
     quantization: str = "ceiling"
     fast_path: bool = True
+    batched: bool = False
 
     def __post_init__(self) -> None:
         if self.n_hyperperiods <= 0:
@@ -165,6 +174,13 @@ class DVSSimulator:
         """
         workload_model = workload if workload is not None else NormalWorkload()
         generator = rng if rng is not None else np.random.default_rng(self.config.seed)
+        if self.config.batched:
+            from .batched import BatchUnit, simulate_batch
+
+            unit = BatchUnit(schedule=schedule, processor=self.processor,
+                             policy=self.policy, config=self.config,
+                             workload=workload_model, rng=generator)
+            return simulate_batch([unit])[0]
         if self.config.fast_path:
             return self._run_compiled(schedule, workload_model, generator)
         return self._run_reference(schedule, workload_model, generator)
@@ -174,45 +190,8 @@ class DVSSimulator:
     # ------------------------------------------------------------------ #
     def _run_compiled(self, schedule: StaticSchedule, workload_model: WorkloadModel,
                       generator: np.random.Generator) -> SimulationResult:
-        compiled = CompiledSchedule(schedule, self.processor)
-        runner = CompiledRunner(compiled, self.processor, self.policy, self.config)
-        hyperperiod = compiled.hyperperiod
-        n_hyperperiods = self.config.n_hyperperiods
-
-        # One batched draw for the whole run: row i holds hyperperiod i's
-        # actual cycles, consumed from the generator in exactly the order the
-        # reference path's per-job scalar draws would be.
-        samples = workload_model.sample_batch(generator, compiled.tasks, n_hyperperiods)
-
-        timeline = Timeline() if self.config.record_timeline else None
-        energy_per_hyperperiod: List[float] = []
-        energy_by_task: Dict[str, float] = {}
-        misses: List[DeadlineMiss] = []
-        transition_energy_total = 0.0
-
-        self.policy.on_simulation_start(schedule, self.processor)
-        for hp_index in range(n_hyperperiods):
-            offset = hp_index * hyperperiod
-            self.policy.on_hyperperiod_start(hp_index, offset)
-            runner.reset_hyperperiod(samples[hp_index])
-            hp_energy, hp_transition_energy = runner.run_hyperperiod(
-                offset, hp_index, energy_by_task, timeline, misses,
-            )
-            energy_per_hyperperiod.append(hp_energy)
-            transition_energy_total += hp_transition_energy
-
-        return SimulationResult(
-            method=schedule.method,
-            policy=self.policy.name,
-            n_hyperperiods=n_hyperperiods,
-            total_energy=float(sum(energy_per_hyperperiod)),
-            energy_per_hyperperiod=energy_per_hyperperiod,
-            transition_energy=transition_energy_total,
-            energy_by_task=energy_by_task,
-            deadline_misses=misses,
-            jobs_completed=compiled.n_jobs * n_hyperperiods,
-            timeline=timeline,
-        )
+        return run_compiled(schedule, self.processor, self.policy, self.config,
+                            workload_model, generator)
 
     # ------------------------------------------------------------------ #
     # Reference event loop (fast_path=False; the bitwise-equivalence oracle)
@@ -338,10 +317,6 @@ class DVSSimulator:
                 voltage = self.processor.clip_voltage(voltage)
             frequency = self.processor.frequency(voltage)
 
-            if current_voltage is not None and not self.config.transition_model.is_free:
-                transition_energy += self.config.transition_model.transition_energy(current_voltage, voltage)
-            current_voltage = voltage
-
             # How long can this job run before something changes?
             next_release = None
             if release_cursor < len(pending):
@@ -356,6 +331,15 @@ class DVSSimulator:
                     budget_cycles = job.actual_remaining
                 else:
                     continue
+
+            # Transition accounting happens only once the dispatch is known to
+            # execute, at the voltage it actually executes at: a zero-budget
+            # requeue switches nothing, and the fmax fringe above runs at vmax,
+            # not at the pre-override policy voltage.
+            if current_voltage is not None and not self.config.transition_model.is_free:
+                transition_energy += self.config.transition_model.transition_energy(current_voltage, voltage)
+            current_voltage = voltage
+
             duration_to_stop = budget_cycles / frequency
             duration = duration_to_stop
             preempted = False

@@ -281,6 +281,10 @@ class ScenarioEngine:
                 workload=point_spec.workload.build(),
                 policy=get_policy(point_spec.online.policy),
                 fast_path=simulation.fast_path,
+                # Engine choice is deliberately absent from the unit
+                # signature: batched and compiled runs are bitwise-identical,
+                # so either may serve the other's store hits.
+                batched=simulation.engine == "batched",
             )
             methods = tuple(point_spec.offline.methods)
             point = CompiledPoint(coords=coords, label=_coord_label(coords) or spec.name)

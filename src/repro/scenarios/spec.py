@@ -36,6 +36,7 @@ __all__ = [
     "SCENARIO_KINDS",
     "TASKSET_SOURCES",
     "POWER_MODELS",
+    "SIMULATION_ENGINES",
 ]
 
 
@@ -200,19 +201,37 @@ class PowerSpec:
             raise ScenarioError(f"power: {error}") from None
 
 
+#: Simulation engines selectable from a scenario file.
+SIMULATION_ENGINES = ("compiled", "batched")
+
+
 @dataclass(frozen=True)
 class SimulationSpec:
-    """How long, how often and how reproducibly each point is simulated."""
+    """How long, how often and how reproducibly each point is simulated.
+
+    ``engine`` selects the runtime event loop: ``"compiled"`` (the default
+    scalar fast path) or ``"batched"`` (the structure-of-arrays engine of
+    :mod:`repro.runtime.batched`, which advances all of a sweep's work units
+    in lock-step).  Both engines are bitwise-identical for the same spec, so
+    the choice deliberately does **not** enter the result-store signature —
+    a batched run store-hits records computed by a compiled run and vice
+    versa.
+    """
 
     hyperperiods: int = 20
     seed: int = 2005
     repetitions: int = 1
     fast_path: bool = True
+    engine: str = "compiled"
 
     def __post_init__(self) -> None:
         _require(self.hyperperiods > 0, f"simulation.hyperperiods must be positive, got {self.hyperperiods}")
         _require(self.repetitions > 0, f"simulation.repetitions must be positive, got {self.repetitions}")
         _check_type(self.seed, (int,), "simulation.seed")
+        _require(
+            self.engine in SIMULATION_ENGINES,
+            f"simulation.engine must be one of {SIMULATION_ENGINES}, got {self.engine!r}",
+        )
 
 
 @dataclass(frozen=True)
@@ -288,6 +307,13 @@ class ScenarioSpec:
             )
         if self.kind == "motivation":
             _require(not self.matrix, "motivation scenarios do not support a matrix")
+        if self.kind != "comparison":
+            _require(
+                self.simulation.engine == "compiled",
+                f"simulation.engine = 'batched' is only supported for kind = 'comparison' "
+                f"scenarios (the batched engine sits beneath the comparison harness), "
+                f"not {self.kind!r}",
+            )
         normalized = []
         for axis in self.matrix:
             _require(len(axis) == 2, f"matrix axes are (key, values) pairs, got {axis!r}")
@@ -334,6 +360,7 @@ class ScenarioSpec:
                 "seed": self.simulation.seed,
                 "repetitions": self.simulation.repetitions,
                 "fast_path": self.simulation.fast_path,
+                "engine": self.simulation.engine,
             },
             "matrix": {key: list(values) for key, values in self.matrix},
         }

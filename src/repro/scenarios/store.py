@@ -42,7 +42,11 @@ __all__ = ["STORE_FORMAT", "StoreEntry", "ResultStore", "signature_key"]
 #: Version of the signature/payload contract.  Part of every signature, so a
 #: bump makes every previously stored record unreachable (and collectable via
 #: ``repro store gc --stale``).
-STORE_FORMAT = 1
+#:
+#: 2: transition energy is no longer charged on zero-work dispatches (the
+#:    requeue/fmax-fringe fix in the runtime event loops), which changes
+#:    stored numbers for runs with a non-free transition model.
+STORE_FORMAT = 2
 
 
 def signature_key(signature: Mapping[str, Any]) -> str:
@@ -134,6 +138,17 @@ class ResultStore:
             return
         yield from sorted(self.objects.glob("*/*.json"))
 
+    def _scratch_paths(self) -> Iterator[Path]:
+        """Orphaned ``<key>.tmp-<pid>`` scratch files from writes killed mid-flight.
+
+        ``put`` writes to a scratch file and atomically renames it into place;
+        a process killed between the two leaves the scratch behind, where the
+        ``*/*.json`` record glob can never see it.
+        """
+        if not self.objects.exists():
+            return
+        yield from sorted(self.objects.glob("*/*.tmp-*"))
+
     def entries(self) -> List[StoreEntry]:
         """Metadata of every readable record, oldest first."""
         rows: List[StoreEntry] = []
@@ -169,6 +184,11 @@ class ResultStore:
         everything, ``older_than_days`` drops records created before the
         cutoff, and ``stale_only`` drops records written under a different
         :data:`STORE_FORMAT` plus unreadable/torn files.
+
+        Orphaned ``.tmp-*`` scratch files (a ``put`` killed between write and
+        rename) are always eligible: ``stale_only`` and ``remove_all`` collect
+        every orphan, ``older_than_days`` collects orphans older than the
+        cutoff (by file mtime — an orphan carries no record metadata).
         """
         chosen = sum(1 for flag in (remove_all, older_than_days is not None, stale_only) if flag)
         if chosen != 1:
@@ -198,6 +218,22 @@ class ResultStore:
                 removed.append(entry)
                 if not dry_run:
                     path.unlink()
+        for path in list(self._scratch_paths()):
+            mtime = path.stat().st_mtime
+            if cutoff is not None and mtime >= cutoff:
+                continue
+            removed.append(
+                StoreEntry(
+                    key=path.stem,  # the scratch name is "<key>.tmp-<pid>"
+                    scenario="",
+                    label="(orphaned scratch file)",
+                    created=mtime,
+                    store_format=0,
+                    size_bytes=path.stat().st_size,
+                )
+            )
+            if not dry_run:
+                path.unlink()
         return removed
 
 

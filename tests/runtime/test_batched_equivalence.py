@@ -1,0 +1,225 @@
+"""Bitwise equivalence of the batched SoA engine and the compiled event loop.
+
+The batched engine (``SimulationConfig(batched=True)``, or ``simulate_batch``
+directly) promises *bitwise-identical* :class:`SimulationResult` aggregates to
+the compiled fast path — which the existing suite in
+``test_compiled_equivalence.py`` already holds bitwise-equal to the reference
+loop — for the same schedule, workload model and generator state.  These
+tests hold it to that promise with no tolerances anywhere, across
+
+* all four built-in DVS policies x all four workload models,
+* non-free voltage-transition models,
+* heterogeneous multi-unit batches (different schedules, policies, horizon
+  lengths in one lock-step advance), and
+* every fallback configuration (CMOS law, discrete voltages, timelines,
+  subclassed policies), which must route per-unit to the compiled loop and
+  still return the right result.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.preemption import expand_fully_preemptive
+from repro.core.task import Task
+from repro.core.taskset import TaskSet
+from repro.offline.baselines import ConstantSpeedScheduler
+from repro.offline.wcs import WCSScheduler
+from repro.power.presets import cmos_processor, ideal_processor
+from repro.power.transition import TransitionModel
+from repro.power.voltage import VoltageLevels
+from repro.runtime.batched import BatchUnit, batch_fallback_reason, simulate_batch
+from repro.runtime.compiled import run_compiled
+from repro.runtime.policies import GreedySlackPolicy, available_policies, get_policy
+from repro.runtime.simulator import DVSSimulator, SimulationConfig
+from repro.workloads.distributions import (
+    BimodalWorkload,
+    FixedWorkload,
+    NormalWorkload,
+    UniformWorkload,
+)
+
+WORKLOADS = [
+    NormalWorkload(),
+    UniformWorkload(),
+    FixedWorkload(mode="acec"),
+    BimodalWorkload(burst_probability=0.3),
+]
+
+
+@pytest.fixture(scope="module")
+def linear_processor():
+    return ideal_processor(fmax=1000.0)
+
+
+@pytest.fixture(scope="module")
+def taskset():
+    return TaskSet([
+        Task("hi", period=10, wcec=1800, acec=1000, bcec=300),
+        Task("mid", period=20, wcec=4200, acec=2400, bcec=900),
+        Task("lo", period=40, wcec=9000, acec=5000, bcec=1500),
+    ], name="equivalence")
+
+
+@pytest.fixture(scope="module")
+def wcs_schedule(linear_processor, taskset):
+    return WCSScheduler(linear_processor).schedule_expansion(
+        expand_fully_preemptive(taskset))
+
+
+def run_both(processor, schedule, workload, policy, seed=20250729, **config_kwargs):
+    """Run the batched engine and the compiled path from identical generator states."""
+    results = []
+    for batched in (True, False):
+        config = SimulationConfig(
+            n_hyperperiods=11, seed=seed, batched=batched, **config_kwargs,
+        )
+        simulator = DVSSimulator(processor, policy=policy, config=config)
+        rng = np.random.default_rng(seed)
+        results.append(simulator.run(schedule, workload, rng))
+    return results
+
+
+def assert_identical(batched, compiled):
+    """Exact (bitwise) equality of every reported aggregate."""
+    assert batched.method == compiled.method
+    assert batched.policy == compiled.policy
+    assert batched.n_hyperperiods == compiled.n_hyperperiods
+    assert batched.total_energy == compiled.total_energy
+    assert batched.energy_per_hyperperiod == compiled.energy_per_hyperperiod
+    assert batched.transition_energy == compiled.transition_energy
+    assert batched.energy_by_task == compiled.energy_by_task
+    assert batched.deadline_misses == compiled.deadline_misses
+    assert batched.jobs_completed == compiled.jobs_completed
+
+
+@pytest.mark.parametrize("policy", available_policies())
+@pytest.mark.parametrize("workload", WORKLOADS, ids=lambda w: w.name)
+def test_policies_and_workloads(linear_processor, wcs_schedule, policy, workload):
+    batched, compiled = run_both(linear_processor, wcs_schedule, workload, policy)
+    assert_identical(batched, compiled)
+
+
+@pytest.mark.parametrize("policy", available_policies())
+def test_transition_overhead(linear_processor, wcs_schedule, policy):
+    batched, compiled = run_both(
+        linear_processor, wcs_schedule, NormalWorkload(), policy,
+        transition_model=TransitionModel(cdd=0.2, efficiency_loss=0.8),
+    )
+    assert compiled.transition_energy > 0.0
+    assert_identical(batched, compiled)
+
+
+def test_first_touch_task_order_is_preserved(linear_processor, wcs_schedule):
+    """energy_by_task iterates in first-execution order, like the scalar loops."""
+    batched, compiled = run_both(
+        linear_processor, wcs_schedule, NormalWorkload(), "greedy")
+    assert list(batched.energy_by_task) == list(compiled.energy_by_task)
+
+
+def test_mixed_batch_matches_individual_runs(linear_processor, taskset):
+    """One lock-step advance over heterogeneous units == each unit run alone."""
+    other = TaskSet([
+        Task("a", period=8, wcec=1200, acec=700, bcec=200),
+        Task("b", period=16, wcec=3000, acec=1500, bcec=500),
+    ], name="other")
+    wcs = WCSScheduler(linear_processor).schedule_expansion(
+        expand_fully_preemptive(taskset))
+    constant = ConstantSpeedScheduler(linear_processor).schedule_expansion(
+        expand_fully_preemptive(other))
+    specs = [
+        (wcs, "greedy", NormalWorkload(), 7),
+        (constant, "static", UniformWorkload(), 11),
+        (wcs, "lookahead", BimodalWorkload(burst_probability=0.3), 5),
+        (constant, "proportional", FixedWorkload(mode="acec"), 3),
+        (wcs, "greedy", NormalWorkload(), 9),
+    ]
+    units = [
+        BatchUnit(schedule=schedule, processor=linear_processor, policy=policy,
+                  config=SimulationConfig(n_hyperperiods=n_hp),
+                  workload=workload, rng=np.random.default_rng(1000 + index))
+        for index, (schedule, policy, workload, n_hp) in enumerate(specs)
+    ]
+    assert all(batch_fallback_reason(unit) is None for unit in units)
+    results = simulate_batch(units)
+    for index, (schedule, policy, workload, n_hp) in enumerate(specs):
+        alone = run_compiled(schedule, linear_processor, get_policy(policy),
+                             SimulationConfig(n_hyperperiods=n_hp),
+                             workload, np.random.default_rng(1000 + index))
+        assert_identical(results[index], alone)
+
+
+class _RecordingPolicy(GreedySlackPolicy):
+    """A subclass (hooks may matter) — must be gated to the compiled fallback."""
+
+    def __init__(self):
+        self.calls = []
+
+    def on_job_finish(self, task_name, job_index, finish_time, deadline):
+        self.calls.append((task_name, job_index))
+
+
+class TestFallback:
+    """Configurations the vectorized core does not cover route to run_compiled."""
+
+    def _check(self, unit, expected_fragment):
+        reason = batch_fallback_reason(unit)
+        assert reason is not None and expected_fragment in reason
+        (batched,) = simulate_batch([unit])
+        alone = run_compiled(unit.schedule, unit.processor, get_policy(unit.policy)
+                             if isinstance(unit.policy, str) else unit.policy,
+                             unit.config, unit.workload,
+                             np.random.default_rng(99))
+        assert_identical(batched, alone)
+
+    def test_cmos_processor(self, taskset):
+        processor = cmos_processor(fmax=1000.0)
+        schedule = WCSScheduler(processor).schedule_expansion(
+            expand_fully_preemptive(taskset))
+        unit = BatchUnit(schedule=schedule, processor=processor, policy="greedy",
+                         config=SimulationConfig(n_hyperperiods=5),
+                         workload=NormalWorkload(), rng=np.random.default_rng(99))
+        self._check(unit, "cmos")
+
+    def test_discrete_voltage_levels(self, linear_processor, wcs_schedule):
+        config = SimulationConfig(
+            n_hyperperiods=5, voltage_levels=VoltageLevels([0.5, 1.0, 2.0, 5.0]))
+        unit = BatchUnit(schedule=wcs_schedule, processor=linear_processor,
+                         policy="greedy", config=config,
+                         workload=NormalWorkload(), rng=np.random.default_rng(99))
+        self._check(unit, "voltage levels")
+
+    def test_recorded_timeline(self, linear_processor, wcs_schedule):
+        config = SimulationConfig(n_hyperperiods=5, record_timeline=True)
+        unit = BatchUnit(schedule=wcs_schedule, processor=linear_processor,
+                         policy="greedy", config=config,
+                         workload=NormalWorkload(), rng=np.random.default_rng(99))
+        reason = batch_fallback_reason(unit)
+        assert reason == "record_timeline"
+        (batched,) = simulate_batch([unit])
+        alone = run_compiled(wcs_schedule, linear_processor, get_policy("greedy"),
+                             config, NormalWorkload(), np.random.default_rng(99))
+        assert_identical(batched, alone)
+        assert batched.timeline.segments == alone.timeline.segments
+
+    def test_subclassed_policy(self, linear_processor, wcs_schedule):
+        unit = BatchUnit(schedule=wcs_schedule, processor=linear_processor,
+                         policy=_RecordingPolicy(),
+                         config=SimulationConfig(n_hyperperiods=5),
+                         workload=NormalWorkload(), rng=np.random.default_rng(99))
+        reason = batch_fallback_reason(unit)
+        assert reason is not None and "_RecordingPolicy" in reason
+        (batched,) = simulate_batch([unit])
+        # The subclass's hooks observed the full scalar call sequence.
+        assert unit.policy.calls
+        reference = _RecordingPolicy()
+        alone = run_compiled(wcs_schedule, linear_processor, reference,
+                             SimulationConfig(n_hyperperiods=5),
+                             NormalWorkload(), np.random.default_rng(99))
+        assert_identical(batched, alone)
+        assert unit.policy.calls == reference.calls
+
+    def test_builtin_default_config_is_vectorized(self, linear_processor, wcs_schedule):
+        for policy in available_policies():
+            unit = BatchUnit(schedule=wcs_schedule, processor=linear_processor,
+                             policy=policy, config=SimulationConfig(n_hyperperiods=5))
+            assert batch_fallback_reason(unit) is None

@@ -134,6 +134,40 @@ class TestMotivationEquivalence:
         assert point["improvement_average_case_percent"] == reference.improvement_average_case_percent
 
 
+class TestEngineChoiceEquivalence:
+    """simulation.engine is a wall-clock knob: results and store keys agree."""
+
+    DOCUMENT = {
+        "kind": "comparison",
+        "name": "engine-choice",
+        "taskset": {"source": "random", "n_tasks": 3, "periods": [10.0, 20.0, 40.0]},
+        "simulation": {"hyperperiods": 3, "seed": 7, "repetitions": 3},
+        "matrix": {"taskset.ratio": [0.1, 0.9]},
+    }
+
+    def spec(self, engine):
+        simulation = {**self.DOCUMENT["simulation"], "engine": engine}
+        return ScenarioSpec.from_dict({**self.DOCUMENT, "simulation": simulation})
+
+    def test_batched_run_matches_compiled_run_bitwise(self):
+        compiled = ScenarioEngine().run(self.spec("compiled"))
+        batched = ScenarioEngine().run(self.spec("batched"))
+        assert batched.points == compiled.points
+
+    def test_batched_run_store_hits_a_compiled_store(self, tmp_path):
+        from repro.scenarios import ResultStore
+
+        store = ResultStore(tmp_path / "store")
+        cold = ScenarioEngine(store).run(self.spec("compiled"))
+        assert cold.computed > 0 and cold.skipped == 0
+        warm = ScenarioEngine(store).run(self.spec("batched"))
+        # The engine deliberately stays out of the signature; a batched run
+        # replays every compiled record instead of recomputing.
+        assert warm.computed == 0
+        assert warm.skipped == cold.computed
+        assert warm.points == cold.points
+
+
 class TestParallelDeterminism:
     def test_worker_count_does_not_change_aggregates(self):
         spec = ScenarioSpec.from_dict({

@@ -40,6 +40,7 @@ class TestValidation:
         ({**MINIMAL, "power": {"model": "ideal", "vmax": -2.0}}, "power"),
         ({**MINIMAL, "simulation": {"hyperperiods": 0}}, "hyperperiods"),
         ({**MINIMAL, "simulation": {"repetitions": 0}}, "repetitions"),
+        ({**MINIMAL, "simulation": {"engine": "warp"}}, "engine"),
         ({**MINIMAL, "matrix": {"taskset.no_such_field": [1, 2]}}, "no_such_field"),
         ({**MINIMAL, "matrix": {"taskset.ratio": []}}, "at least one value"),
         ({**MINIMAL, "matrix": {"nodots": [1]}}, "dotted"),
@@ -56,6 +57,19 @@ class TestValidation:
     def test_explicit_taskset_requires_core_fields(self):
         document = {**MINIMAL, "taskset": {"source": "explicit", "tasks": [{"name": "a"}]}}
         with pytest.raises(ScenarioError, match="missing fields"):
+            ScenarioSpec.from_dict(document)
+
+    def test_simulation_engine_defaults_and_round_trips(self):
+        assert ScenarioSpec.from_dict(MINIMAL).simulation.engine == "compiled"
+        spec = ScenarioSpec.from_dict(
+            {**MINIMAL, "simulation": {"engine": "batched"}})
+        assert spec.simulation.engine == "batched"
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_batched_engine_rejected_outside_comparison_kind(self):
+        document = {"kind": "motivation", "name": "m",
+                    "simulation": {"engine": "batched"}}
+        with pytest.raises(ScenarioError, match="only supported for kind"):
             ScenarioSpec.from_dict(document)
 
     def test_multicore_requires_single_method_and_fixed_taskset(self):

@@ -71,6 +71,41 @@ class TestStoreBasics:
         store.gc(older_than_days=-1.0)
         assert not store.contains(key)
 
+    def test_killed_mid_write_orphan_is_collected_by_stale_gc(self, tmp_path):
+        """A put killed between scratch write and rename leaves a .tmp-<pid> orphan."""
+        store = ResultStore(tmp_path / "store")
+        key = signature_key({"x": 4})
+        store.put(key, {"value": 4})
+        # Simulate a writer killed mid-put: the scratch file was written but
+        # the atomic rename never happened (same naming as ResultStore.put).
+        orphan = store.path_for(key).with_suffix(".tmp-12345")
+        orphan.write_text('{"partial":', encoding="utf-8")
+        # The orphan never corrupts reads or listings...
+        assert store.get(key) == {"value": 4}
+        assert [entry.key for entry in store.entries()] == [key]
+        # ...and stale GC collects it (and only it — the real record survives).
+        removed = store.gc(stale_only=True)
+        assert [entry.key for entry in removed] == [key]
+        assert [entry.label for entry in removed] == ["(orphaned scratch file)"]
+        assert not orphan.exists()
+        assert store.contains(key)
+
+    def test_orphan_age_is_respected_by_older_than_gc(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        key = signature_key({"x": 5})
+        store.put(key, {"value": 5})
+        orphan = store.path_for(key).with_suffix(".tmp-999")
+        orphan.write_text("x", encoding="utf-8")
+        assert store.gc(older_than_days=1.0) == []  # fresh orphan survives by mtime
+        removed = store.gc(older_than_days=-1.0)  # cutoff in the future collects both
+        assert {entry.key for entry in removed} == {key}
+        assert not orphan.exists()
+        # remove_all also sweeps orphans.
+        orphan.write_text("x", encoding="utf-8")
+        removed = store.gc(remove_all=True)
+        assert [entry.label for entry in removed] == ["(orphaned scratch file)"]
+        assert not orphan.exists()
+
 
 class TestResume:
     def test_killed_sweep_resumes_with_zero_recomputation(self, tmp_path):
