@@ -131,3 +131,28 @@ def test_figure6a_sim_batched(benchmark, sim_units):
         assert batched.energy_by_task == reference.energy_by_task
         assert batched.deadline_misses == reference.deadline_misses
         assert batched.jobs_completed == reference.jobs_completed
+
+
+def _traced(units):
+    return [replace(unit, config=replace(unit.config, trace=True))
+            for unit in units]
+
+
+def test_figure6a_sim_compiled_traced(benchmark, sim_units):
+    """The same compiled replay with the typed event stream on.
+
+    Paired with ``test_figure6a_sim_compiled`` this is the tracing-overhead
+    guard: the trace-off number is the product path and must not regress when
+    event emission evolves, while the on/off gap quantifies what ``trace=True``
+    costs (event allocation is the dominant term).  The energies must be
+    bitwise-unchanged — tracing is a pure observer.
+    """
+    traced_units = _traced(sim_units)
+    results = benchmark.pedantic(_simulate_compiled, args=(traced_units,),
+                                 rounds=3, iterations=1)
+    compiled = _simulate_compiled(sim_units)
+    for traced, reference in zip(results, compiled):
+        assert traced.trace is not None and len(traced.trace) > 0
+        assert reference.trace is None
+        assert traced.total_energy == reference.total_energy
+        assert traced.energy_by_task == reference.energy_by_task

@@ -11,6 +11,11 @@ and expose the online runtime and the batched harness directly:
 
 * ``simulate``   — schedule one application and simulate it under one or more
   online DVS policies (``--policy static|greedy|lookahead|proportional|all``);
+* ``trace``      — simulate one application with the typed event stream
+  recorded (``SimulationConfig(trace=True)``): prints per-kind event counts
+  plus the ASCII Gantt chart projected from the trace, optionally with
+  sporadic release jitter (``--jitter J``) and a JSON event dump
+  (``--output FILE``);
 * ``sweep``      — configurable random-taskset sweep on a process pool
   (``--jobs N``; any worker count produces bitwise-identical output);
 * ``partition``  — partition an application across ``--cores`` processors,
@@ -110,6 +115,27 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--ratio", type=float, default=0.5,
                           help="BCEC/WCEC ratio of the workload")
     simulate.set_defaults(runner=_run_simulate)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="simulate one application with the typed event stream recorded")
+    trace.add_argument("--app", choices=("demo", "cnc", "gap"), default="demo",
+                       help="task set to schedule (demo = small 3-task example)")
+    trace.add_argument("--method", choices=scheduler_names(), default="acs",
+                       help="offline scheduler producing the static schedule")
+    trace.add_argument("--policy", choices=available_policies(), default="greedy",
+                       help="online DVS policy")
+    trace.add_argument("--hyperperiods", type=int, default=2)
+    trace.add_argument("--seed", type=int, default=2005)
+    trace.add_argument("--ratio", type=float, default=0.5,
+                       help="BCEC/WCEC ratio of the workload")
+    trace.add_argument("--jitter", type=float, default=None, metavar="J",
+                       help="sporadic arrivals with release jitter U(0, J) "
+                            "(default: strictly periodic)")
+    trace.add_argument("--width", type=int, default=72, help="chart width in columns")
+    trace.add_argument("--output", default=None, metavar="FILE",
+                       help="also write the serialised events as JSON to this path")
+    trace.set_defaults(runner=_run_trace)
 
     sweep = subparsers.add_parser(
         "sweep",
@@ -318,6 +344,52 @@ def _run_simulate(args: argparse.Namespace) -> str:
     table = format_markdown_table(
         ["policy", "energy / hyperperiod", "misses", f"saving vs {reference_name} %"], rows)
     return "\n".join([header, "", table])
+
+
+def _run_trace(args: argparse.Namespace) -> str:
+    if args.hyperperiods < 1:
+        raise ExperimentError(f"--hyperperiods must be at least 1, got {args.hyperperiods}")
+    processor = ideal_processor(fmax=1000.0)
+    taskset = _select_taskset(args.app, args.ratio, processor)
+
+    scheduler = make_schedulers([args.method], processor)[args.method]
+    schedule = scheduler.schedule(taskset)
+
+    arrivals = None
+    if args.jitter is not None:
+        from .workloads.arrivals import SporadicArrivals
+        arrivals = SporadicArrivals(max_jitter=args.jitter)
+    simulator = DVSSimulator(
+        processor, policy=args.policy,
+        config=SimulationConfig(n_hyperperiods=args.hyperperiods,
+                                trace=True, arrivals=arrivals),
+    )
+    result = simulator.run(schedule, NormalWorkload(), np.random.default_rng(args.seed))
+    trace = result.trace
+    assert trace is not None  # trace=True guarantees a recorded stream
+
+    from .reporting.gantt import render_trace
+    counts = trace.counts()
+    count_rows: List[List[object]] = [[kind, counts[kind]] for kind in sorted(counts)]
+    arrivals_label = f"sporadic(max_jitter={args.jitter:g})" if arrivals else "periodic"
+    header = (f"app={args.app} method={args.method} policy={args.policy} "
+              f"ratio={args.ratio:g} hyperperiods={args.hyperperiods} "
+              f"seed={args.seed} arrivals={arrivals_label}")
+    sections = [
+        header,
+        "",
+        render_trace(trace, processor, width=args.width),
+        "",
+        format_markdown_table(["event", "count"], count_rows),
+        "",
+        (f"{len(trace)} events | energy/hyperperiod "
+         f"{result.mean_energy_per_hyperperiod:.6g} | misses {result.miss_count}"),
+    ]
+    if args.output:
+        from .reporting.serialization import save_json, trace_to_dicts
+        output_path = save_json({"events": trace_to_dicts(trace)}, args.output)
+        sections.append(f"wrote {len(trace)} events to {output_path}")
+    return "\n".join(sections)
 
 
 def _run_sweep(args: argparse.Namespace) -> str:

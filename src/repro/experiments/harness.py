@@ -40,6 +40,7 @@ from ..runtime.batched import BatchUnit, simulate_batch
 from ..runtime.policies import DVSPolicy, GreedySlackPolicy
 from ..runtime.results import SimulationResult, improvement_percent
 from ..runtime.simulator import DVSSimulator, SimulationConfig
+from ..workloads.arrivals import ArrivalModel
 from ..workloads.distributions import NormalWorkload, WorkloadModel
 from ..workloads.random_tasksets import RandomTaskSetConfig, generate_random_taskset
 from .seeding import SIMULATION_STREAM, TASKSET_STREAM, derive_rng, derive_seed
@@ -88,12 +89,22 @@ class ComparisonConfig:
     #: batches *across* comparison jobs.  Bitwise-identical results either
     #: way.  Like ``fast_path``, only consulted when ``simulation`` is unset.
     batched: bool = False
+    #: Record the typed event stream on every method's
+    #: :class:`~repro.runtime.results.SimulationResult` (see
+    #: :mod:`repro.runtime.trace`).  Batched units fall back per unit to the
+    #: compiled loop.  Only consulted when ``simulation`` is unset.
+    trace: bool = False
+    #: Optional arrival model perturbing the job releases (``None`` is the
+    #: paper's strictly periodic model).  Only consulted when ``simulation``
+    #: is unset.
+    arrivals: Optional["ArrivalModel"] = None
 
     def simulation_config(self) -> SimulationConfig:
         if self.simulation is not None:
             return self.simulation
         return SimulationConfig(n_hyperperiods=self.n_hyperperiods, seed=self.seed,
-                                fast_path=self.fast_path, batched=self.batched)
+                                fast_path=self.fast_path, batched=self.batched,
+                                trace=self.trace, arrivals=self.arrivals)
 
     def with_derived_seed(self, *path: int) -> "ComparisonConfig":
         """A copy whose seed is derived from ``(self.seed, *path)``.

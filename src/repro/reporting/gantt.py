@@ -10,6 +10,9 @@ without any plotting dependency:
 * :func:`render_timeline` — one row per task; each executed segment is drawn
   with a glyph indicating the relative speed (``░▒▓█`` from slowest to
   fastest), so preemptions and slack reclamation are visible at a glance.
+* :func:`render_trace` — the same picture straight from a typed event stream
+  (:class:`~repro.runtime.trace.EventTrace`): the timeline is a projection of
+  the trace's ``SegmentEnd`` events, so no ad-hoc segment plumbing is needed.
 """
 
 from __future__ import annotations
@@ -19,8 +22,9 @@ from typing import List, Optional
 from ..core.timeline import Timeline
 from ..offline.schedule import StaticSchedule
 from ..power.processor import ProcessorModel
+from ..runtime.trace import EventTrace
 
-__all__ = ["render_static_schedule", "render_timeline"]
+__all__ = ["render_static_schedule", "render_timeline", "render_trace"]
 
 _SPEED_GLYPHS = "░▒▓█"
 
@@ -110,3 +114,15 @@ def render_timeline(timeline: Timeline, processor: Optional[ProcessorModel] = No
     header = ("execution trace; shading = relative speed "
               f"({_SPEED_GLYPHS[0]} slow … {_SPEED_GLYPHS[-1]} full speed)")
     return "\n".join([header] + lines)
+
+
+def render_trace(trace: EventTrace, processor: Optional[ProcessorModel] = None,
+                 *, width: int = 72, horizon: Optional[float] = None) -> str:
+    """Render a typed event stream as an ASCII Gantt chart.
+
+    Every executed segment is one ``SegmentEnd`` event carrying the full
+    segment record, so the chart is exactly :func:`render_timeline` applied
+    to :meth:`EventTrace.to_timeline` — the events are the single source of
+    truth, not a parallel record-keeping path.
+    """
+    return render_timeline(trace.to_timeline(), processor, width=width, horizon=horizon)

@@ -9,6 +9,9 @@ round-trips for both, without pickling arbitrary objects:
 * :func:`schedule_to_dict` / :func:`schedule_from_dict` (reattaches to a task
   set by re-expanding the hyperperiod and matching sub-instance keys)
 * :func:`simulation_result_to_dict`
+* :func:`trace_to_dicts` / :func:`trace_from_dicts` (the typed event stream
+  of :mod:`repro.runtime.trace`; the golden-trace fixtures under
+  ``tests/fixtures/traces/`` are this row form on disk)
 * :func:`comparison_result_to_dict` / :func:`sweep_result_to_dict` (the
   experiment-harness aggregates, e.g. for ``repro sweep --output``)
 * :func:`scenario_result_to_dict` (the declarative scenario runner; the same
@@ -21,7 +24,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, TYPE_CHECKING, Union
+from typing import Dict, List, TYPE_CHECKING, Union
 
 from ..analysis.preemption import expand_fully_preemptive
 from ..core.errors import ReproError
@@ -29,6 +32,7 @@ from ..core.task import Task
 from ..core.taskset import TaskSet
 from ..offline.schedule import StaticSchedule
 from ..runtime.results import SimulationResult
+from ..runtime.trace import EventTrace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a hard dependency edge
     from ..allocation.multicore import MulticorePlan
@@ -45,6 +49,8 @@ __all__ = [
     "schedule_to_dict",
     "schedule_from_dict",
     "simulation_result_to_dict",
+    "trace_to_dicts",
+    "trace_from_dicts",
     "comparison_result_to_dict",
     "sweep_result_to_dict",
     "partition_to_dict",
@@ -145,9 +151,24 @@ def schedule_from_dict(data: Dict) -> StaticSchedule:
     )
 
 
+def trace_to_dicts(trace: EventTrace) -> List[Dict]:
+    """Serialise a typed event stream as plain JSON-compatible rows."""
+    return trace.to_dicts()
+
+
+def trace_from_dicts(rows: List[Dict]) -> EventTrace:
+    """Rebuild an :class:`~repro.runtime.trace.EventTrace` from its row form."""
+    return EventTrace.from_dicts(rows)
+
+
 def simulation_result_to_dict(result: SimulationResult) -> Dict:
-    """Serialise the aggregate outcome of a simulation run (without the timeline)."""
-    return {
+    """Serialise the aggregate outcome of a simulation run (without the timeline).
+
+    When the run recorded the typed event stream (``SimulationConfig(trace=True)``)
+    the events ride along under ``"events"``; the key is absent otherwise, so
+    trace-off payloads are byte-for-byte what they always were.
+    """
+    data = {
         "method": result.method,
         "policy": result.policy,
         "n_hyperperiods": result.n_hyperperiods,
@@ -167,22 +188,38 @@ def simulation_result_to_dict(result: SimulationResult) -> Dict:
             for miss in result.deadline_misses
         ],
     }
+    if result.trace is not None:
+        data["events"] = trace_to_dicts(result.trace)
+    return data
+
+
+def _method_to_dict(result: "ComparisonResult", method: str) -> Dict:
+    outcome = result.outcomes[method]
+    data = {
+        "mean_energy_per_hyperperiod": outcome.mean_energy,
+        "improvement_over_baseline_percent": result.improvement_over_baseline(method),
+        "total_energy": outcome.simulation.total_energy,
+        "deadline_misses": outcome.simulation.miss_count,
+        "policy": outcome.simulation.policy,
+    }
+    if outcome.simulation.trace is not None:
+        data["events"] = trace_to_dicts(outcome.simulation.trace)
+    return data
 
 
 def comparison_result_to_dict(result: "ComparisonResult") -> Dict:
-    """Serialise one task set's scheduler comparison (per-method aggregates)."""
+    """Serialise one task set's scheduler comparison (per-method aggregates).
+
+    Methods simulated with ``trace=True`` additionally carry their event
+    stream under ``methods.<name>.events`` (absent otherwise — trace-off
+    payloads, and therefore their store hashes, are unchanged).
+    """
     return {
         "taskset": result.taskset_name,
         "baseline": result.baseline,
         "methods": {
-            method: {
-                "mean_energy_per_hyperperiod": outcome.mean_energy,
-                "improvement_over_baseline_percent": result.improvement_over_baseline(method),
-                "total_energy": outcome.simulation.total_energy,
-                "deadline_misses": outcome.simulation.miss_count,
-                "policy": outcome.simulation.policy,
-            }
-            for method, outcome in result.outcomes.items()
+            method: _method_to_dict(result, method)
+            for method in result.outcomes
         },
     }
 

@@ -17,6 +17,7 @@ from .policies import (
 from .results import DeadlineMiss, SimulationResult, improvement_percent
 from .simulator import DVSSimulator, SimulationConfig
 from .multicore import MulticoreResult, MulticoreRunner
+from .trace import EVENT_TYPES, EventTrace, TraceEvent
 
 __all__ = [
     "CompiledRunner",
@@ -29,6 +30,9 @@ __all__ = [
     "MulticoreResult",
     "DeadlineMiss",
     "improvement_percent",
+    "TraceEvent",
+    "EventTrace",
+    "EVENT_TYPES",
     "DVSPolicy",
     "SlackPolicy",
     "SpeedRequest",

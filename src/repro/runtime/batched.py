@@ -35,7 +35,8 @@ linear delay law, the stock :class:`~repro.power.transition.TransitionModel`
 and the default ``record``/no-timeline/continuous-voltage configuration.
 Anything else — subclassed policies (whose hooks and overrides must observe
 the exact scalar call sequence), CMOS-law processors, discrete voltage
-levels, recorded timelines, ``on_deadline_miss="raise"`` — falls back
+levels, recorded timelines, event tracing (``SimulationConfig(trace=True)``),
+non-periodic arrival models, ``on_deadline_miss="raise"`` — falls back
 *per unit* to :func:`repro.runtime.compiled.run_compiled`, so a mixed batch
 still returns the right result for every unit.  Policy lifecycle hooks are
 not invoked from the vectorized core (the built-in policies define them as
@@ -122,6 +123,10 @@ def batch_fallback_reason(unit: BatchUnit) -> Optional[str]:
     config = unit.config
     if config.record_timeline:
         return "record_timeline"
+    if config.trace:
+        return "trace"
+    if config.arrivals is not None:
+        return f"arrival model {type(config.arrivals).__name__}"
     if config.on_deadline_miss != "record":
         return f"on_deadline_miss={config.on_deadline_miss!r}"
     if config.voltage_levels is not None:

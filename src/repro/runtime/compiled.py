@@ -41,10 +41,20 @@ from typing import Dict, List, Optional, TYPE_CHECKING
 import numpy as np
 
 from ..core.errors import DeadlineMissError
-from ..core.timeline import ExecutionSegment, Timeline
 from ..offline.schedule import StaticSchedule
 from ..power.processor import ProcessorModel
 from .results import DeadlineMiss, SimulationResult
+from .trace import (
+    DeadlineMiss as DeadlineMissEvent,
+    EventTrace,
+    FrequencyChange,
+    HyperperiodReset,
+    JobRelease,
+    Preempt,
+    Resume,
+    SegmentEnd,
+    SegmentStart,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..workloads.distributions import WorkloadModel
@@ -109,6 +119,9 @@ class CompiledSchedule:
         self.ceffs: List[float] = []
         self.wcecs: List[float] = []
         self.tasks = [instance.task for instance in self.instances]
+        # Needed to re-rank the dispatcher order per hyperperiod when an
+        # arrival model jitters the releases.
+        self.priorities = [instance.priority for instance in self.instances]
 
         for instance in self.instances:
             entries = schedule.entries_for_instance(instance)
@@ -182,6 +195,7 @@ class CompiledRunner:
         self.wc_remaining = [0.0] * n
         self.position = [0] * n
         self.finished = [False] * n
+        self.preempted_flag = [False] * n
 
     def reset_hyperperiod(self, samples_row: np.ndarray) -> None:
         """Reset the job state in place from one hyperperiod's workload draws."""
@@ -191,6 +205,7 @@ class CompiledRunner:
         wc_remaining = self.wc_remaining
         position = self.position
         finished = self.finished
+        preempted_flag = self.preempted_flag
         wcecs = compiled.wcecs
         first_budgets = compiled.first_budget_list
         wc_totals = compiled.wc_total_list
@@ -202,18 +217,23 @@ class CompiledRunner:
             wc_remaining[job] = wc_totals[job]
             position[job] = 0
             finished[job] = cycles <= _EPS
+            preempted_flag[job] = False
 
     def run_hyperperiod(self, offset: float, hp_index: int,
                         energy_by_task: Dict[str, float],
-                        timeline: Optional[Timeline],
-                        misses: List[DeadlineMiss]):
+                        trace: Optional[EventTrace],
+                        misses: List[DeadlineMiss],
+                        jitter: Optional[List[float]] = None):
         """Simulate one hyperperiod; returns ``(energy, transition_energy)``.
 
         Event-for-event equivalent to the reference
         ``DVSSimulator._simulate_hyperperiod``: the ready heap pops exactly the
         job the reference ``min()`` scan selects, and throttled jobs re-enter
         through the wake-up heap at exactly the times the reference re-admits
-        them.
+        them.  ``jitter`` holds this hyperperiod's arrival offsets (one per
+        job, in instance order); when given, the dispatcher rank and release
+        order are re-derived from the jittered releases — exactly the sort the
+        reference path performs on its ``_JobState`` objects.
         """
         compiled = self.compiled
         processor = self.processor
@@ -225,6 +245,7 @@ class CompiledRunner:
         wc_remaining = self.wc_remaining
         position = self.position
         finished = self.finished
+        preempted_flag = self.preempted_flag
 
         entry_budgets = compiled.entry_budgets
         entry_end_times = compiled.entry_end_times
@@ -234,14 +255,34 @@ class CompiledRunner:
         task_names = compiled.task_names
         job_indices = compiled.job_indices
         ceffs = compiled.ceffs
-        rank_of_job = compiled.rank_of_job
-        job_of_rank = compiled.job_of_rank
-        release_order = compiled.release_order
         n_jobs = compiled.n_jobs
 
-        release_abs = [release + offset for release in compiled.release_list]
         deadline_abs = [deadline + offset for deadline in compiled.deadline_list]
         final_end_abs = [end + offset for end in compiled.final_end_list]
+        if jitter is None:
+            release_abs = [release + offset for release in compiled.release_list]
+            rank_of_job = compiled.rank_of_job
+            job_of_rank = compiled.job_of_rank
+            release_order = compiled.release_order
+        else:
+            # Same left-associated sum as _JobState (release + offset, then
+            # += jitter) so both engines produce bitwise-equal releases.
+            release_abs = []
+            for job, j in enumerate(jitter):
+                release = compiled.release_list[job] + offset
+                if j:
+                    release += j
+                release_abs.append(release)
+            priorities = compiled.priorities
+            job_of_rank = sorted(
+                range(n_jobs),
+                key=lambda j: (priorities[j], release_abs[j],
+                               task_names[j], job_indices[j]),
+            )
+            rank_of_job = [0] * n_jobs
+            for rank, job in enumerate(job_of_rank):
+                rank_of_job[job] = rank
+            release_order = sorted(range(n_jobs), key=lambda j: release_abs[j])
 
         frequency_from = policy.frequency_from
         on_job_finish = policy.on_job_finish
@@ -284,6 +325,9 @@ class CompiledRunner:
             while release_cursor < n_jobs and \
                     release_abs[release_order[release_cursor]] <= up_to + _EPS:
                 job = release_order[release_cursor]
+                if trace is not None:
+                    trace.append(JobRelease(time=release_abs[job], task=task_names[job],
+                                            job_index=job_indices[job]))
                 release_cursor += 1
                 if finished[job]:
                     continue
@@ -357,6 +401,24 @@ class CompiledRunner:
                         heappush(throttled, (wake, rank_of_job[job]))
                     continue
 
+            # The dispatch is now committed: emit its events (resume first,
+            # then the speed change, then the segment itself).
+            task_name = task_names[job]
+            was_resumed = preempted_flag[job]
+            preempted_flag[job] = False
+            if trace is not None:
+                if was_resumed:
+                    trace.append(Resume(time=time_now, task=task_name,
+                                        job_index=job_indices[job],
+                                        sub_index=entry_sub_indices[job][pos]))
+                if current_voltage is None or voltage != current_voltage:
+                    trace.append(FrequencyChange(time=time_now, frequency=frequency,
+                                                 voltage=voltage))
+                trace.append(SegmentStart(time=time_now, task=task_name,
+                                          job_index=job_indices[job],
+                                          sub_index=entry_sub_indices[job][pos],
+                                          frequency=frequency, voltage=voltage))
+
             # Transition accounting happens only once the dispatch is known to
             # execute, at the voltage it actually executes at: a zero-budget
             # requeue switches nothing, and the fmax fringe above runs at vmax,
@@ -374,31 +436,31 @@ class CompiledRunner:
             cycles = duration * frequency
             segment_energy = cycles * ((ceffs[job] * voltage) * voltage)
             energy += segment_energy
-            task_name = task_names[job]
             energy_by_task[task_name] = energy_by_task.get(task_name, 0.0) + segment_energy
-            if timeline is not None and duration > 0:
-                timeline.append(ExecutionSegment(
-                    task_name=task_name,
-                    job_index=job_indices[job],
-                    sub_index=entry_sub_indices[job][pos],
-                    start=time_now,
-                    end=time_now + duration,
-                    frequency=frequency,
-                    voltage=voltage,
-                    cycles=cycles,
-                    energy=segment_energy,
-                ))
 
+            segment_start = time_now
             time_now += duration
             actual[job] = max(actual[job] - cycles, 0.0)
             budget[job] = max(budget[job] - cycles, 0.0)
             wc_remaining[job] = max(wc_remaining[job] - cycles, 0.0)
+            if trace is not None:
+                trace.append(SegmentEnd(time=time_now, task=task_name,
+                                        job_index=job_indices[job],
+                                        sub_index=entry_sub_indices[job][pos],
+                                        start=segment_start, frequency=frequency,
+                                        voltage=voltage, cycles=cycles,
+                                        energy=segment_energy,
+                                        finished=actual[job] <= _EPS))
 
             if actual[job] <= _EPS:
                 finished[job] = True
                 deadline = deadline_abs[job]
                 on_job_finish(task_name, job_indices[job], time_now, deadline)
                 if time_now > deadline + 1e-6 * max(1.0, deadline):
+                    if trace is not None:
+                        trace.append(DeadlineMissEvent(time=time_now, task=task_name,
+                                                       job_index=job_indices[job],
+                                                       deadline=deadline))
                     if raise_on_miss:
                         raise DeadlineMissError(
                             f"job {task_name}[{job_indices[job]}] missed its deadline "
@@ -422,6 +484,16 @@ class CompiledRunner:
                 else:
                     heappush(throttled, (wake, rank_of_job[job]))
             if preempted:
+                if not finished[job]:
+                    preempted_flag[job] = True
+                    if trace is not None:
+                        nxt = release_order[release_cursor]
+                        trace.append(Preempt(time=time_now, task=task_name,
+                                             job_index=job_indices[job],
+                                             sub_index=entry_sub_indices[job][pos],
+                                             by_task=task_names[nxt],
+                                             by_job_index=job_indices[nxt]))
+                # The preemptor's JobRelease is emitted *after* the Preempt.
                 admit_releases(time_now)
 
         return energy, transition_energy
@@ -442,12 +514,18 @@ def run_compiled(schedule: StaticSchedule, processor: ProcessorModel, policy: "D
     hyperperiod = compiled.hyperperiod
     n_hyperperiods = config.n_hyperperiods
 
-    # One batched draw for the whole run: row i holds hyperperiod i's
-    # actual cycles, consumed from the generator in exactly the order the
-    # reference path's per-job scalar draws would be.
+    # Arrival jitter first (one vectorized draw, mirroring the reference
+    # path's stream order), then one batched workload draw for the whole run:
+    # row i holds hyperperiod i's actual cycles, consumed from the generator
+    # in exactly the order the reference path's per-job scalar draws would be.
+    offsets = None
+    if config.arrivals is not None:
+        offsets = config.arrivals.sample_offsets(generator, compiled.instances, n_hyperperiods)
     samples = workload_model.sample_batch(generator, compiled.tasks, n_hyperperiods)
 
-    timeline = Timeline() if config.record_timeline else None
+    # One internal trace serves both the event stream and (as a projection)
+    # the timeline; with neither requested, no event objects are allocated.
+    trace = EventTrace() if (config.trace or config.record_timeline) else None
     energy_per_hyperperiod: List[float] = []
     energy_by_task: Dict[str, float] = {}
     misses: List[DeadlineMiss] = []
@@ -457,13 +535,17 @@ def run_compiled(schedule: StaticSchedule, processor: ProcessorModel, policy: "D
     for hp_index in range(n_hyperperiods):
         offset = hp_index * hyperperiod
         policy.on_hyperperiod_start(hp_index, offset)
+        if trace is not None:
+            trace.append(HyperperiodReset(time=offset, hyperperiod=hp_index))
         runner.reset_hyperperiod(samples[hp_index])
         hp_energy, hp_transition_energy = runner.run_hyperperiod(
-            offset, hp_index, energy_by_task, timeline, misses,
+            offset, hp_index, energy_by_task, trace, misses,
+            offsets[hp_index].tolist() if offsets is not None else None,
         )
         energy_per_hyperperiod.append(hp_energy)
         transition_energy_total += hp_transition_energy
 
+    timeline = trace.to_timeline() if config.record_timeline else None
     return SimulationResult(
         method=schedule.method,
         policy=policy.name,
@@ -475,4 +557,5 @@ def run_compiled(schedule: StaticSchedule, processor: ProcessorModel, policy: "D
         deadline_misses=misses,
         jobs_completed=compiled.n_jobs * n_hyperperiods,
         timeline=timeline,
+        trace=trace if config.trace else None,
     )

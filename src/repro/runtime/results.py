@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 from ..core.timeline import Timeline
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .trace import EventTrace
 
 __all__ = ["DeadlineMiss", "SimulationResult", "improvement_percent"]
 
@@ -39,6 +42,8 @@ class SimulationResult:
     deadline_misses: List[DeadlineMiss] = field(default_factory=list)
     jobs_completed: int = 0
     timeline: Optional[Timeline] = None
+    #: Typed event stream of the run (``SimulationConfig(trace=True)`` only).
+    trace: Optional["EventTrace"] = None
 
     @property
     def mean_energy_per_hyperperiod(self) -> float:

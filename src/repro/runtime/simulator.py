@@ -23,15 +23,26 @@ import numpy as np
 
 from ..core.errors import DeadlineMissError, SimulationError
 from ..core.task import TaskInstance
-from ..core.timeline import ExecutionSegment, Timeline
 from ..offline.schedule import ScheduledSubInstance, StaticSchedule
 from ..power.processor import ProcessorModel
 from ..power.transition import TransitionModel
 from ..power.voltage import VoltageLevels
+from ..workloads.arrivals import ArrivalModel
 from ..workloads.distributions import WorkloadModel, NormalWorkload
 from .compiled import planned_frequency_array, run_compiled
 from .policies import DVSPolicy, GreedySlackPolicy, SpeedRequest, get_policy
 from .results import DeadlineMiss, SimulationResult
+from .trace import (
+    DeadlineMiss as DeadlineMissEvent,
+    EventTrace,
+    FrequencyChange,
+    HyperperiodReset,
+    JobRelease,
+    Preempt,
+    Resume,
+    SegmentEnd,
+    SegmentStart,
+)
 
 __all__ = ["SimulationConfig", "DVSSimulator"]
 
@@ -50,6 +61,20 @@ class SimulationConfig:
         Seed of the workload random generator; ``None`` draws a fresh one.
     record_timeline:
         Keep every execution segment (memory-heavy; off by default).
+    trace:
+        Record the typed event stream of :mod:`repro.runtime.trace` on the
+        result (``SimulationResult.trace``; memory-heavy, off by default).
+        Tracing never changes the simulated behaviour: energies, timelines
+        and RNG consumption are bitwise-identical with tracing on or off,
+        and when it is off the fast path allocates no event objects at all.
+        The batched engine does not trace — it falls back to the compiled
+        loop per unit (see :func:`repro.runtime.batched.batch_fallback_reason`).
+    arrivals:
+        Optional :class:`~repro.workloads.arrivals.ArrivalModel` perturbing
+        job releases (e.g. sporadic bounded jitter).  ``None`` (default) is
+        the paper's strictly periodic model and consumes no randomness; a
+        model draws all of a run's offsets in one vectorized call *before*
+        the workload draws, keeping both scalar engines bitwise-identical.
     on_deadline_miss:
         ``"record"`` (default) or ``"raise"``.
     transition_model:
@@ -78,6 +103,8 @@ class SimulationConfig:
     n_hyperperiods: int = 1
     seed: Optional[int] = None
     record_timeline: bool = False
+    trace: bool = False
+    arrivals: Optional[ArrivalModel] = None
     on_deadline_miss: str = "record"
     transition_model: TransitionModel = field(default_factory=TransitionModel.ideal)
     voltage_levels: Optional[VoltageLevels] = None
@@ -98,14 +125,20 @@ class _JobState:
     __slots__ = (
         "instance", "entries", "release", "deadline", "priority", "final_end_time",
         "actual_remaining", "sub_index", "budget_remaining", "wc_remaining",
-        "finished", "finish_time",
+        "finished", "finish_time", "was_preempted",
     )
 
     def __init__(self, instance: TaskInstance, entries: Sequence[ScheduledSubInstance],
-                 actual_cycles: float, offset: float) -> None:
+                 actual_cycles: float, offset: float, jitter: float = 0.0) -> None:
         self.instance = instance
         self.entries = list(entries)
-        self.release = instance.release + offset
+        # Only the release shifts under an arrival model; the deadline, the
+        # static slots and the planned end-times stay nominal (jitter eats
+        # into the job's own slack).
+        release = instance.release + offset
+        if jitter:
+            release += jitter
+        self.release = release
         self.deadline = instance.deadline + offset
         self.priority = instance.priority
         # Look-ahead horizon: the job's last planned sub-instance end-time.
@@ -117,6 +150,7 @@ class _JobState:
         self.wc_remaining = sum(entry.wc_budget for entry in self.entries)
         self.finished = self.actual_remaining <= _EPS
         self.finish_time = self.release if self.finished else None
+        self.was_preempted = False
 
     @property
     def sort_key(self):
@@ -202,26 +236,40 @@ class DVSSimulator:
         hyperperiod = expansion.horizon
         planned_frequencies = self._planned_frequencies(schedule)
 
-        timeline = Timeline() if self.config.record_timeline else None
+        # The timeline is a projection of the event stream (SegmentEnd events
+        # carry full segment records), so one internal trace serves both.
+        trace = EventTrace() if (self.config.trace or self.config.record_timeline) else None
         energy_per_hyperperiod: List[float] = []
         energy_by_task: Dict[str, float] = {}
         misses: List[DeadlineMiss] = []
         transition_energy_total = 0.0
         jobs_completed = 0
 
+        # Arrival jitter is drawn for the whole run in one vectorized call,
+        # *before* any workload draw — the compiled path makes the identical
+        # call, keeping the generator streams aligned.
+        offsets = None
+        if self.config.arrivals is not None:
+            offsets = self.config.arrivals.sample_offsets(
+                generator, expansion.instances, self.config.n_hyperperiods)
+
         self.policy.on_simulation_start(schedule, self.processor)
         for hp_index in range(self.config.n_hyperperiods):
             offset = hp_index * hyperperiod
             self.policy.on_hyperperiod_start(hp_index, offset)
-            jobs = self._build_jobs(schedule, workload_model, generator, offset)
+            if trace is not None:
+                trace.append(HyperperiodReset(time=offset, hyperperiod=hp_index))
+            jitter = offsets[hp_index].tolist() if offsets is not None else None
+            jobs = self._build_jobs(schedule, workload_model, generator, offset, jitter)
             hp_energy, hp_transition_energy = self._simulate_hyperperiod(
                 jobs, offset, hyperperiod, planned_frequencies, energy_by_task,
-                timeline, misses, hp_index,
+                trace, misses, hp_index,
             )
             energy_per_hyperperiod.append(hp_energy)
             transition_energy_total += hp_transition_energy
             jobs_completed += len(jobs)
 
+        timeline = trace.to_timeline() if self.config.record_timeline else None
         return SimulationResult(
             method=schedule.method,
             policy=self.policy.name,
@@ -233,6 +281,7 @@ class DVSSimulator:
             deadline_misses=misses,
             jobs_completed=jobs_completed,
             timeline=timeline,
+            trace=trace if self.config.trace else None,
         )
 
     # ------------------------------------------------------------------ #
@@ -247,19 +296,21 @@ class DVSSimulator:
         }
 
     def _build_jobs(self, schedule: StaticSchedule, workload_model: WorkloadModel,
-                    rng: np.random.Generator, offset: float) -> List[_JobState]:
+                    rng: np.random.Generator, offset: float,
+                    jitter: Optional[List[float]] = None) -> List[_JobState]:
         jobs: List[_JobState] = []
-        for instance in schedule.expansion.instances:
+        for index, instance in enumerate(schedule.expansion.instances):
             entries = schedule.entries_for_instance(instance)
             actual = workload_model.sample(rng, instance.task)
             actual = min(max(actual, 0.0), instance.wcec)
-            jobs.append(_JobState(instance, entries, actual, offset))
+            jobs.append(_JobState(instance, entries, actual, offset,
+                                  jitter[index] if jitter is not None else 0.0))
         return jobs
 
     def _simulate_hyperperiod(self, jobs: List[_JobState], offset: float, hyperperiod: float,
                               planned_frequencies: Dict[str, float],
                               energy_by_task: Dict[str, float],
-                              timeline: Optional[Timeline],
+                              trace: Optional[EventTrace],
                               misses: List[DeadlineMiss], hp_index: int):
         energy = 0.0
         transition_energy = 0.0
@@ -273,6 +324,9 @@ class DVSSimulator:
             nonlocal release_cursor
             while release_cursor < len(pending) and pending[release_cursor].release <= up_to + _EPS:
                 job = pending[release_cursor]
+                if trace is not None:
+                    trace.append(JobRelease(time=job.release, task=job.instance.task.name,
+                                            job_index=job.instance.job_index))
                 if not job.finished:
                     released.append(job)
                 release_cursor += 1
@@ -319,8 +373,10 @@ class DVSSimulator:
 
             # How long can this job run before something changes?
             next_release = None
+            next_job: Optional[_JobState] = None
             if release_cursor < len(pending):
-                next_release = pending[release_cursor].release
+                next_job = pending[release_cursor]
+                next_release = next_job.release
             budget_cycles = max(min(job.budget_remaining, job.actual_remaining), 0.0)
             if budget_cycles <= _EPS:
                 # The current sub-instance has no usable budget; advance bookkeeping.
@@ -331,6 +387,24 @@ class DVSSimulator:
                     budget_cycles = job.actual_remaining
                 else:
                     continue
+
+            # The dispatch is now committed: emit its events (resume first,
+            # then the speed change, then the segment itself).
+            task_name = job.instance.task.name
+            was_resumed = job.was_preempted
+            job.was_preempted = False
+            if trace is not None:
+                if was_resumed:
+                    trace.append(Resume(time=time_now, task=task_name,
+                                        job_index=job.instance.job_index,
+                                        sub_index=entry.sub.sub_index))
+                if current_voltage is None or voltage != current_voltage:
+                    trace.append(FrequencyChange(time=time_now, frequency=frequency,
+                                                 voltage=voltage))
+                trace.append(SegmentStart(time=time_now, task=task_name,
+                                          job_index=job.instance.job_index,
+                                          sub_index=entry.sub.sub_index,
+                                          frequency=frequency, voltage=voltage))
 
             # Transition accounting happens only once the dispatch is known to
             # execute, at the voltage it actually executes at: a zero-budget
@@ -350,25 +424,21 @@ class DVSSimulator:
             cycles = duration * frequency
             segment_energy = self.processor.energy(cycles, voltage, job.instance.task.ceff)
             energy += segment_energy
-            task_name = job.instance.task.name
             energy_by_task[task_name] = energy_by_task.get(task_name, 0.0) + segment_energy
-            if timeline is not None and duration > 0:
-                timeline.append(ExecutionSegment(
-                    task_name=task_name,
-                    job_index=job.instance.job_index,
-                    sub_index=entry.sub.sub_index,
-                    start=time_now,
-                    end=time_now + duration,
-                    frequency=frequency,
-                    voltage=voltage,
-                    cycles=cycles,
-                    energy=segment_energy,
-                ))
 
+            segment_start = time_now
             time_now += duration
             job.actual_remaining = max(job.actual_remaining - cycles, 0.0)
             job.budget_remaining = max(job.budget_remaining - cycles, 0.0)
             job.wc_remaining = max(job.wc_remaining - cycles, 0.0)
+            if trace is not None:
+                trace.append(SegmentEnd(time=time_now, task=task_name,
+                                        job_index=job.instance.job_index,
+                                        sub_index=entry.sub.sub_index,
+                                        start=segment_start, frequency=frequency,
+                                        voltage=voltage, cycles=cycles,
+                                        energy=segment_energy,
+                                        finished=job.actual_remaining <= _EPS))
 
             if job.actual_remaining <= _EPS:
                 job.finished = True
@@ -376,6 +446,10 @@ class DVSSimulator:
                 self.policy.on_job_finish(task_name, job.instance.job_index,
                                           time_now, job.deadline)
                 if time_now > job.deadline + 1e-6 * max(1.0, job.deadline):
+                    if trace is not None:
+                        trace.append(DeadlineMissEvent(time=time_now, task=task_name,
+                                                       job_index=job.instance.job_index,
+                                                       deadline=job.deadline))
                     miss = DeadlineMiss(
                         task_name=task_name,
                         job_index=job.instance.job_index,
@@ -394,6 +468,15 @@ class DVSSimulator:
                         )
                     misses.append(miss)
             if preempted:
+                if not job.finished:
+                    job.was_preempted = True
+                    if trace is not None:
+                        trace.append(Preempt(time=time_now, task=task_name,
+                                             job_index=job.instance.job_index,
+                                             sub_index=entry.sub.sub_index,
+                                             by_task=next_job.instance.task.name,
+                                             by_job_index=next_job.instance.job_index))
+                # The preemptor's JobRelease is emitted *after* the Preempt.
                 admit_releases(time_now)
 
         return energy, transition_energy

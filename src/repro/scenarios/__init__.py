@@ -16,6 +16,7 @@ the multicore scalability grid).
 from .engine import CompiledPoint, CompiledScenario, ScenarioEngine, ScenarioResult
 from .loader import ScenarioLoader, load_scenario
 from .spec import (
+    ArrivalsSpec,
     MotivationSpec,
     MulticoreSpec,
     OfflineSpec,
@@ -42,6 +43,7 @@ __all__ = [
     "OfflineSpec",
     "OnlineSpec",
     "WorkloadSpec",
+    "ArrivalsSpec",
     "PowerSpec",
     "SimulationSpec",
     "MulticoreSpec",

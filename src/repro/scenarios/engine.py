@@ -89,6 +89,13 @@ def _comparison_signature(job: ComparisonJob) -> Dict[str, Any]:
         "workload": _model_signature(config.workload),
         "policy": {"type": type(config.policy).__name__, "name": config.policy.name},
     }
+    # Added only when non-default so every pre-existing store hash is
+    # preserved; trace-on payloads carry the event stream, hence must key
+    # differently from trace-off ones.
+    if config.trace:
+        signature["trace"] = True
+    if config.arrivals is not None:
+        signature["arrivals"] = _model_signature(config.arrivals)
     if job.taskset is not None:
         signature["taskset"] = taskset_to_dict(job.taskset)
     else:
@@ -285,6 +292,12 @@ class ScenarioEngine:
                 # signature: batched and compiled runs are bitwise-identical,
                 # so either may serve the other's store hits.
                 batched=simulation.engine == "batched",
+                trace=simulation.trace,
+                # None (not PeriodicArrivals) for the default keeps the
+                # simulator's zero-overhead path and the store signature of
+                # every pre-existing scenario unchanged.
+                arrivals=None if point_spec.arrivals.model == "periodic"
+                else point_spec.arrivals.build(),
             )
             methods = tuple(point_spec.offline.methods)
             point = CompiledPoint(coords=coords, label=_coord_label(coords) or spec.name)

@@ -28,6 +28,7 @@ __all__ = [
     "OfflineSpec",
     "OnlineSpec",
     "WorkloadSpec",
+    "ArrivalsSpec",
     "PowerSpec",
     "SimulationSpec",
     "MulticoreSpec",
@@ -175,6 +176,34 @@ class WorkloadSpec:
 
 
 @dataclass(frozen=True)
+class ArrivalsSpec:
+    """Arrival model (job release jitter) by registry name.
+
+    The default (``"periodic"``) is the paper's strictly periodic model; it
+    is also what an absent ``[arrivals]`` section means, so existing
+    scenarios are unaffected.  A non-default model is only meaningful for
+    ``kind = "comparison"`` scenarios and forces batched work units onto the
+    compiled fallback.
+    """
+
+    model: str = "periodic"
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", dict(self.params))
+        self.build()  # validate the name and the parameters eagerly
+
+    def build(self):
+        from ..core.errors import WorkloadError
+        from ..workloads.arrivals import get_arrival_model
+
+        try:
+            return get_arrival_model(self.model, **self.params)
+        except (WorkloadError, TypeError) as error:
+            raise ScenarioError(f"arrivals: {error}") from None
+
+
+@dataclass(frozen=True)
 class PowerSpec:
     """Processor model preset plus keyword overrides (``fmax``, ``vmax``, ...)."""
 
@@ -223,8 +252,13 @@ class SimulationSpec:
     repetitions: int = 1
     fast_path: bool = True
     engine: str = "compiled"
+    #: Record the typed event stream of every simulation on the stored
+    #: payloads (see :mod:`repro.runtime.trace`).  Only valid for
+    #: ``kind = "comparison"``; batched units fall back to the compiled loop.
+    trace: bool = False
 
     def __post_init__(self) -> None:
+        _check_type(self.trace, (bool,), "simulation.trace")
         _require(self.hyperperiods > 0, f"simulation.hyperperiods must be positive, got {self.hyperperiods}")
         _require(self.repetitions > 0, f"simulation.repetitions must be positive, got {self.repetitions}")
         _check_type(self.seed, (int,), "simulation.seed")
@@ -286,6 +320,7 @@ class ScenarioSpec:
     offline: OfflineSpec = field(default_factory=OfflineSpec)
     online: OnlineSpec = field(default_factory=OnlineSpec)
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    arrivals: ArrivalsSpec = field(default_factory=ArrivalsSpec)
     power: PowerSpec = field(default_factory=PowerSpec)
     simulation: SimulationSpec = field(default_factory=SimulationSpec)
     multicore: MulticoreSpec = field(default_factory=MulticoreSpec)
@@ -308,6 +343,16 @@ class ScenarioSpec:
         if self.kind == "motivation":
             _require(not self.matrix, "motivation scenarios do not support a matrix")
         if self.kind != "comparison":
+            _require(
+                not self.simulation.trace,
+                f"simulation.trace = true is only supported for kind = 'comparison' "
+                f"scenarios, not {self.kind!r}",
+            )
+            _require(
+                self.arrivals == ArrivalsSpec(),
+                f"a non-periodic [arrivals] model is only supported for "
+                f"kind = 'comparison' scenarios, not {self.kind!r}",
+            )
             _require(
                 self.simulation.engine == "compiled",
                 f"simulation.engine = 'batched' is only supported for kind = 'comparison' "
@@ -361,9 +406,14 @@ class ScenarioSpec:
                 "repetitions": self.simulation.repetitions,
                 "fast_path": self.simulation.fast_path,
                 "engine": self.simulation.engine,
+                "trace": self.simulation.trace,
             },
             "matrix": {key: list(values) for key, values in self.matrix},
         }
+        # Emitted only when non-default, so pre-existing scenario dicts (and
+        # their round-trips) are byte-for-byte unchanged.
+        if self.arrivals != ArrivalsSpec():
+            data["arrivals"] = {"model": self.arrivals.model, **dict(self.arrivals.params)}
         if self.taskset.periods is not None:
             data["taskset"]["periods"] = list(self.taskset.periods)
         if self.taskset.gap_tasks is not None:
@@ -396,6 +446,7 @@ class ScenarioSpec:
             "offline",
             "online",
             "workload",
+            "arrivals",
             "power",
             "simulation",
             "multicore",
@@ -422,6 +473,7 @@ class ScenarioSpec:
             "offline",
             "online",
             "workload",
+            "arrivals",
             "power",
             "simulation",
             "multicore",
@@ -432,6 +484,7 @@ class ScenarioSpec:
         for key, values in matrix_table.items():
             _check_type(values, (list, tuple), f"matrix.{key}")
         workload = dict(sections["workload"])
+        arrivals = dict(sections["arrivals"])
         power = dict(sections["power"])
         try:
             return cls(
@@ -442,6 +495,7 @@ class ScenarioSpec:
                 offline=_build_section(OfflineSpec, sections["offline"], "offline"),
                 online=_build_section(OnlineSpec, sections["online"], "online"),
                 workload=WorkloadSpec(model=workload.pop("model", "normal"), params=workload),
+                arrivals=ArrivalsSpec(model=arrivals.pop("model", "periodic"), params=arrivals),
                 power=PowerSpec(model=power.pop("model", "ideal"), params=power),
                 simulation=_build_section(SimulationSpec, sections["simulation"], "simulation"),
                 multicore=_build_section(MulticoreSpec, sections["multicore"], "multicore"),

@@ -1,5 +1,12 @@
-"""Workload models: execution-cycle distributions and benchmark task sets."""
+"""Workload models: execution-cycle distributions, arrival models and benchmark task sets."""
 
+from .arrivals import (
+    ArrivalModel,
+    PeriodicArrivals,
+    SporadicArrivals,
+    available_arrival_models,
+    get_arrival_model,
+)
 from .cnc import CNC_TASK_PARAMETERS, cnc_taskset
 from .distributions import (
     BimodalWorkload,
@@ -23,6 +30,11 @@ __all__ = [
     "FixedWorkload",
     "BimodalWorkload",
     "get_workload_model",
+    "ArrivalModel",
+    "PeriodicArrivals",
+    "SporadicArrivals",
+    "available_arrival_models",
+    "get_arrival_model",
     "RandomTaskSetConfig",
     "generate_random_taskset",
     "generate_random_tasksets",

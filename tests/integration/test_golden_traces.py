@@ -1,0 +1,177 @@
+"""Golden event-trace regression tests.
+
+Each fixture under ``tests/fixtures/traces/`` pins the *complete* typed event
+stream of one deterministic run — every release, resume, frequency change,
+segment, preemption and deadline miss with full float precision.  Any change
+to dispatch order, RNG consumption, slack arithmetic or event emission shows
+up as a trace diff here, long before it would move an aggregate energy
+number.
+
+Pinned runs:
+
+* ``figure6a_smoke_unit0``  — the first work unit of the committed
+  ``examples/scenarios/figure6a.toml`` at its smoke profile (trace forced on;
+  tracing is opt-in, so forcing it cannot change the simulated numbers).
+* ``demo_greedy``           — the CLI demo application (``repro trace`` with
+  its defaults).  The committed motivation scenario itself is the analytic
+  end-times table (kind ``motivation``) and never runs the simulator, so the
+  demo frame stands in for it as the hand-sized golden run.
+* ``sporadic_unit0``        — the first unit of the committed
+  ``examples/scenarios/sporadic.toml`` exactly as ``repro run`` executes it.
+
+Regenerate intentionally with::
+
+    REPRO_REGEN_FIXTURES=1 PYTHONPATH=src python -m pytest tests/integration/test_golden_traces.py
+
+after reviewing the diff — a regeneration is a semantic change to the
+simulator and should be called out in the commit message.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.experiments.harness import run_comparisons
+from repro.power.presets import ideal_processor
+from repro.runtime.simulator import DVSSimulator, SimulationConfig
+from repro.runtime.trace import EventTrace
+from repro.scenarios import MemoryStore, ScenarioEngine, ScenarioSpec, load_scenario
+from repro.workloads.distributions import NormalWorkload
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+FIXTURES_DIR = os.path.join(REPO_ROOT, "tests", "fixtures", "traces")
+SCENARIOS_DIR = os.path.join(REPO_ROOT, "examples", "scenarios")
+REGEN = os.environ.get("REPRO_REGEN_FIXTURES") == "1"
+
+
+# --------------------------------------------------------------------- #
+# Deterministic generators, one per fixture
+# --------------------------------------------------------------------- #
+def _traced_spec(path, profile=None):
+    """Load a committed scenario with the event stream forced on."""
+    spec = load_scenario(path, profile=profile)
+    data = spec.to_dict()
+    data["simulation"]["trace"] = True
+    return ScenarioSpec.from_dict(data)
+
+
+def _scenario_unit_events(spec, unit_index=0):
+    """The first point's ``unit_index``-th unit, exactly as the engine runs it."""
+    engine = ScenarioEngine(MemoryStore())
+    compiled = engine.compile(spec)
+    key = compiled.points[0].unit_keys[unit_index]
+    result = run_comparisons([compiled.units[key]])[0]
+    return {
+        method: outcome.simulation.trace.to_dicts()
+        for method, outcome in result.outcomes.items()
+    }
+
+
+def generate_figure6a_smoke_unit0():
+    spec = _traced_spec(os.path.join(SCENARIOS_DIR, "figure6a.toml"), profile="smoke")
+    return _scenario_unit_events(spec)
+
+
+def generate_sporadic_unit0():
+    # sporadic.toml already declares trace = true; no forcing needed.
+    spec = load_scenario(os.path.join(SCENARIOS_DIR, "sporadic.toml"))
+    assert spec.simulation.trace, "sporadic.toml must commit to trace = true"
+    return _scenario_unit_events(spec)
+
+
+def generate_demo_greedy():
+    """The `repro trace` default run, built through the library API."""
+    from repro.cli import _demo_taskset
+    from repro.experiments.harness import make_schedulers
+
+    processor = ideal_processor(fmax=1000.0)
+    schedule = make_schedulers(["acs"], processor)["acs"].schedule(_demo_taskset(0.5))
+    simulator = DVSSimulator(
+        processor, policy="greedy",
+        config=SimulationConfig(n_hyperperiods=2, trace=True))
+    result = simulator.run(schedule, NormalWorkload(), np.random.default_rng(2005))
+    return {"acs": result.trace.to_dicts()}
+
+
+GENERATORS = {
+    "figure6a_smoke_unit0": generate_figure6a_smoke_unit0,
+    "demo_greedy": generate_demo_greedy,
+    "sporadic_unit0": generate_sporadic_unit0,
+}
+
+
+# --------------------------------------------------------------------- #
+# Fixture I/O (one event per line, so regeneration diffs stay readable)
+# --------------------------------------------------------------------- #
+def _fixture_path(name):
+    return os.path.join(FIXTURES_DIR, f"{name}.json")
+
+
+def _write_fixture(name, traces):
+    os.makedirs(FIXTURES_DIR, exist_ok=True)
+    chunks = []
+    for method in sorted(traces):
+        rows = ",\n".join("   " + json.dumps(row, sort_keys=True)
+                          for row in traces[method])
+        chunks.append(f"  {json.dumps(method)}: [\n{rows}\n  ]")
+    with open(_fixture_path(name), "w") as handle:
+        handle.write("{\n" + ",\n".join(chunks) + "\n}\n")
+
+
+def _read_fixture(name):
+    with open(_fixture_path(name)) as handle:
+        return json.load(handle)
+
+
+# --------------------------------------------------------------------- #
+# Tests
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+def test_golden_trace(name):
+    traces = GENERATORS[name]()
+    if REGEN:
+        _write_fixture(name, traces)
+    assert os.path.exists(_fixture_path(name)), (
+        f"missing fixture {name}.json — generate it with REPRO_REGEN_FIXTURES=1")
+    golden = _read_fixture(name)
+    assert sorted(golden) == sorted(traces)
+    for method in sorted(golden):
+        expected = golden[method]
+        actual = traces[method]
+        assert len(actual) == len(expected), (
+            f"{name}/{method}: {len(actual)} events, fixture has {len(expected)}")
+        for index, (got, want) in enumerate(zip(actual, expected)):
+            assert got == want, (
+                f"{name}/{method} diverges at event {index}:\n"
+                f"  got  {got}\n  want {want}")
+        # The committed rows must also rebuild into a well-formed trace.
+        rebuilt = EventTrace.from_dicts(expected)
+        assert rebuilt.to_dicts() == expected
+
+
+def test_fixture_directory_has_no_orphans():
+    committed = {name[:-5] for name in os.listdir(FIXTURES_DIR)
+                 if name.endswith(".json")}
+    assert committed == set(GENERATORS), (
+        "fixtures and generators out of sync — delete stale files or add a generator")
+
+
+def test_sporadic_scenario_runs_end_to_end_through_the_cli(tmp_path, capsys):
+    """The acceptance path: `repro run examples/scenarios/sporadic.toml`."""
+    spec_path = os.path.join(SCENARIOS_DIR, "sporadic.toml")
+    exit_code = cli_main(["run", spec_path, "--store", str(tmp_path / "store"),
+                          "--output", str(tmp_path / "out")])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "sporadic" in output
+    assert "computed=2 skipped=0" in output
+    # Warm rerun: everything store-hits, nothing recomputed.
+    exit_code = cli_main(["run", spec_path, "--store", str(tmp_path / "store")])
+    assert exit_code == 0
+    assert "computed=0 skipped=2" in capsys.readouterr().out
+    result = json.loads((tmp_path / "out" / "sporadic.json").read_text())
+    assert result["scenario"]["name"] == "sporadic"
+    assert result["points"]

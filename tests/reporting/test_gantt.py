@@ -3,8 +3,9 @@
 import pytest
 
 from repro.offline.wcs import WCSScheduler
-from repro.reporting.gantt import render_static_schedule, render_timeline
+from repro.reporting.gantt import render_static_schedule, render_timeline, render_trace
 from repro.runtime.simulator import DVSSimulator, SimulationConfig
+from repro.runtime.trace import EventTrace
 from repro.workloads.distributions import FixedWorkload
 from repro.core.timeline import Timeline
 
@@ -44,3 +45,25 @@ class TestRenderTimeline:
     def test_width_validation(self, processor):
         with pytest.raises(ValueError):
             render_timeline(Timeline(), processor, width=3)
+
+
+class TestRenderTrace:
+    def test_renders_from_the_event_stream(self, two_task_set, processor):
+        """The chart is the timeline projection of the typed events — byte-equal
+        to rendering the recorded timeline directly."""
+        schedule = WCSScheduler(processor).schedule(two_task_set)
+        simulator = DVSSimulator(
+            processor,
+            config=SimulationConfig(n_hyperperiods=1, trace=True, record_timeline=True))
+        result = simulator.run(schedule, FixedWorkload(mode="wcec"))
+        text = render_trace(result.trace, processor, width=60)
+        assert text == render_timeline(result.timeline, processor, width=60)
+        assert "A" in text and "B" in text
+        assert any(glyph in text for glyph in "░▒▓█")
+
+    def test_empty_trace(self, processor):
+        assert render_trace(EventTrace(), processor) == "(empty timeline)"
+
+    def test_width_validation(self, processor):
+        with pytest.raises(ValueError):
+            render_trace(EventTrace(), processor, width=3)

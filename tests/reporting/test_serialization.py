@@ -7,6 +7,7 @@ from repro.core.errors import ReproError
 from repro.offline.acs import ACSScheduler
 from repro.offline.evaluation import average_case_energy
 from repro.reporting.serialization import (
+    comparison_result_to_dict,
     load_json,
     multicore_plan_to_dict,
     multicore_result_to_dict,
@@ -17,6 +18,8 @@ from repro.reporting.serialization import (
     simulation_result_to_dict,
     taskset_from_dict,
     taskset_to_dict,
+    trace_from_dicts,
+    trace_to_dicts,
 )
 from repro.runtime.multicore import MulticoreRunner
 from repro.runtime.simulator import DVSSimulator, SimulationConfig
@@ -78,6 +81,59 @@ class TestSimulationResultSerialisation:
         assert data["total_energy"] == pytest.approx(result.total_energy)
         assert data["deadline_misses"] == []
         assert set(data["energy_by_task"]) == {"A", "B"}
+        assert "events" not in data  # tracing was off
+
+    def test_trace_embeds_as_event_rows(self, two_task_set, processor):
+        schedule = ACSScheduler(processor).schedule(two_task_set)
+        config = SimulationConfig(n_hyperperiods=2, seed=1, trace=True)
+        result = DVSSimulator(processor, config=config).run(schedule, NormalWorkload())
+        data = simulation_result_to_dict(result)
+        assert data["events"] == trace_to_dicts(result.trace)
+        assert data["events"][0]["kind"] == "HyperperiodReset"
+
+
+class TestTraceRoundTrip:
+    @pytest.fixture()
+    def trace(self, two_task_set, processor):
+        schedule = ACSScheduler(processor).schedule(two_task_set)
+        config = SimulationConfig(n_hyperperiods=2, seed=7, trace=True)
+        result = DVSSimulator(processor, config=config).run(schedule, NormalWorkload())
+        return result.trace
+
+    def test_round_trip_is_exact(self, trace, tmp_path):
+        rows = trace_to_dicts(trace)
+        assert trace_from_dicts(rows) == trace
+        # Through an actual JSON file: float repr round-trips bitwise.
+        path = save_json({"events": rows}, tmp_path / "trace.json")
+        assert trace_from_dicts(load_json(path)["events"]) == trace
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ReproError, match="unknown trace event kind"):
+            trace_from_dicts([{"kind": "Teleport", "time": 0.0}])
+
+    def test_malformed_fields_rejected(self):
+        with pytest.raises(ReproError, match="malformed JobRelease"):
+            trace_from_dicts([{"kind": "JobRelease", "time": 0.0}])
+
+    def test_comparison_result_carries_events_per_method(self, two_task_set, processor):
+        from repro.experiments.harness import ComparisonConfig, compare_schedulers
+
+        result = compare_schedulers(
+            two_task_set, processor,
+            config=ComparisonConfig(n_hyperperiods=2, seed=3, trace=True))
+        data = comparison_result_to_dict(result)
+        for method, outcome in result.outcomes.items():
+            assert data["methods"][method]["events"] == trace_to_dicts(
+                outcome.simulation.trace)
+
+    def test_comparison_result_omits_events_when_off(self, two_task_set, processor):
+        from repro.experiments.harness import ComparisonConfig, compare_schedulers
+
+        result = compare_schedulers(
+            two_task_set, processor, config=ComparisonConfig(n_hyperperiods=2, seed=3))
+        data = comparison_result_to_dict(result)
+        for method in result.outcomes:
+            assert "events" not in data["methods"][method]
 
 
 class TestMulticoreSerialisation:

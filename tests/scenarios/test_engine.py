@@ -42,6 +42,61 @@ class TestCompile:
 
 
 @pytest.mark.skipif(sys.version_info < (3, 11), reason="TOML scenario files need tomllib")
+class TestTraceAndArrivalsSignatures:
+    """Trace/arrivals are *conditional* signature keys: every pre-existing
+    store hash must be preserved, while traced/jittered units key apart."""
+
+    def _first_unit(self, document):
+        spec = ScenarioSpec.from_dict(document)
+        compiled = ScenarioEngine().compile(spec)
+        key = compiled.points[0].unit_keys[0]
+        return key, compiled.units[key]
+
+    def test_defaults_add_no_new_signature_keys(self):
+        from repro.scenarios.engine import _comparison_signature
+
+        document = {"kind": "comparison", "name": "sig",
+                    "simulation": {"hyperperiods": 2, "repetitions": 1}}
+        _, job = self._first_unit(document)
+        signature = _comparison_signature(job)
+        assert "trace" not in signature
+        assert "arrivals" not in signature
+
+    def test_trace_and_arrivals_key_apart_from_the_default(self):
+        base = {"kind": "comparison", "name": "sig",
+                "simulation": {"hyperperiods": 2, "repetitions": 1}}
+        default_key, _ = self._first_unit(base)
+        traced_key, traced_job = self._first_unit(
+            {**base, "simulation": {"hyperperiods": 2, "repetitions": 1, "trace": True}})
+        jittered_key, jittered_job = self._first_unit(
+            {**base, "arrivals": {"model": "sporadic", "max_jitter": 1.5}})
+        assert len({default_key, traced_key, jittered_key}) == 3
+        assert traced_job.config.trace is True
+        assert type(jittered_job.config.arrivals).__name__ == "SporadicArrivals"
+
+    def test_explicit_periodic_arrivals_hit_the_default_key(self):
+        """[arrivals] model = "periodic" is spelled-out default — same hash."""
+        base = {"kind": "comparison", "name": "sig",
+                "simulation": {"hyperperiods": 2, "repetitions": 1}}
+        default_key, default_job = self._first_unit(base)
+        periodic_key, periodic_job = self._first_unit(
+            {**base, "arrivals": {"model": "periodic"}})
+        assert periodic_key == default_key
+        assert periodic_job.config.arrivals is None is default_job.config.arrivals
+
+    def test_sporadic_scenario_units_are_traced_and_jittered(self):
+        spec = load_scenario(REPO_ROOT / "examples" / "scenarios" / "sporadic.toml")
+        compiled = ScenarioEngine().compile(spec)
+        from repro.scenarios.engine import _comparison_signature
+
+        for job in compiled.units.values():
+            signature = _comparison_signature(job)
+            assert signature["trace"] is True
+            assert signature["arrivals"] == {
+                "max_jitter": 1.5, "name": "sporadic", "type": "SporadicArrivals"}
+
+
+@pytest.mark.skipif(sys.version_info < (3, 11), reason="TOML scenario files need tomllib")
 class TestFigure6aAcceptance:
     """The committed figure6a scenario reproduces `repro figure6a` bit for bit."""
 

@@ -72,6 +72,43 @@ class TestValidation:
         with pytest.raises(ScenarioError, match="only supported for kind"):
             ScenarioSpec.from_dict(document)
 
+    def test_trace_defaults_off_and_round_trips(self):
+        assert ScenarioSpec.from_dict(MINIMAL).simulation.trace is False
+        spec = ScenarioSpec.from_dict({**MINIMAL, "simulation": {"trace": True}})
+        assert spec.simulation.trace is True
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_trace_rejected_outside_comparison_kind(self):
+        document = {"kind": "motivation", "name": "m",
+                    "simulation": {"trace": True}}
+        with pytest.raises(ScenarioError, match="trace"):
+            ScenarioSpec.from_dict(document)
+        with pytest.raises(ScenarioError, match=r"simulation\.trace: expected"):
+            ScenarioSpec.from_dict({**MINIMAL, "simulation": {"trace": "yes"}})
+
+    def test_arrivals_section_defaults_and_round_trips(self):
+        assert ScenarioSpec.from_dict(MINIMAL).arrivals.model == "periodic"
+        spec = ScenarioSpec.from_dict(
+            {**MINIMAL, "arrivals": {"model": "sporadic", "max_jitter": 1.5}})
+        assert spec.arrivals.model == "sporadic"
+        assert spec.arrivals.params == {"max_jitter": 1.5}
+        data = spec.to_dict()
+        assert data["arrivals"] == {"model": "sporadic", "max_jitter": 1.5}
+        assert ScenarioSpec.from_dict(data) == spec
+        # The default periodic model is left implicit in the serialised form.
+        assert "arrivals" not in ScenarioSpec.from_dict(MINIMAL).to_dict()
+
+    def test_arrivals_validated_eagerly(self):
+        with pytest.raises(ScenarioError, match="unknown arrival model"):
+            ScenarioSpec.from_dict({**MINIMAL, "arrivals": {"model": "poisson"}})
+        with pytest.raises(ScenarioError, match="non-negative"):
+            ScenarioSpec.from_dict(
+                {**MINIMAL, "arrivals": {"model": "sporadic", "max_jitter": -1.0}})
+        with pytest.raises(ScenarioError, match="arrivals"):
+            ScenarioSpec.from_dict(
+                {"kind": "motivation", "name": "m",
+                 "arrivals": {"model": "sporadic"}})
+
     def test_multicore_requires_single_method_and_fixed_taskset(self):
         base = {"kind": "multicore", "name": "m",
                 "offline": {"methods": ["acs"], "baseline": "acs"},
@@ -175,7 +212,7 @@ class TestCommittedScenarioFiles:
             names.add(spec.name)
             assert "smoke" in loader.profiles(path), f"{path.name} lacks a smoke profile"
             loader.load(path, profile="smoke")  # must validate too
-        assert {"figure6a", "figure6b", "motivation", "scalability"} <= names
+        assert {"figure6a", "figure6b", "motivation", "scalability", "sporadic"} <= names
 
 
 # ------------------------------------------------------------------ #
@@ -204,8 +241,14 @@ def comparison_documents(draw):
             "seed": draw(st.integers(min_value=0, max_value=2**31)),
             "repetitions": draw(st.integers(min_value=1, max_value=10)),
             "fast_path": draw(st.booleans()),
+            "trace": draw(st.booleans()),
         },
     }
+    if draw(st.booleans()):
+        document["arrivals"] = {
+            "model": "sporadic",
+            "max_jitter": draw(st.floats(min_value=0.0, max_value=5.0, allow_nan=False)),
+        }
     if draw(st.booleans()):
         document["matrix"] = {
             "taskset.ratio": draw(st.lists(

@@ -12,8 +12,8 @@ class TestParser:
             parser.parse_args([])
 
     @pytest.mark.parametrize("command", ["motivation", "figure6a", "figure6b",
-                                         "simulate", "sweep", "partition",
-                                         "scalability"])
+                                         "simulate", "trace", "sweep",
+                                         "partition", "scalability"])
     def test_known_subcommands(self, command):
         args = build_parser().parse_args([command])
         assert callable(args.runner)
@@ -54,6 +54,16 @@ class TestParser:
             ["scalability", "--cores", "1,2", "--partitioners", "wfd", "--quick"])
         assert args.cores == "1,2" and args.partitioners == "wfd" and args.quick
 
+    def test_trace_flags(self):
+        args = build_parser().parse_args(
+            ["trace", "--app", "demo", "--policy", "lookahead", "--jitter", "1.5"])
+        assert args.app == "demo" and args.policy == "lookahead"
+        assert args.jitter == 1.5 and args.hyperperiods == 2
+
+    def test_trace_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "--policy", "oracle"])
+
 
 class TestMain:
     def test_motivation_runs(self, capsys):
@@ -74,6 +84,29 @@ class TestMain:
         for policy in ("static", "greedy", "lookahead", "proportional"):
             assert policy in output
         assert "saving vs static %" in output
+
+    def test_trace_prints_events_and_saves_json(self, capsys, tmp_path):
+        target = tmp_path / "events.json"
+        assert main(["trace", "--app", "demo", "--jitter", "1.5",
+                     "--output", str(target)]) == 0
+        output = capsys.readouterr().out
+        assert "arrivals=sporadic(max_jitter=1.5)" in output
+        assert "execution trace" in output  # the Gantt chart header
+        for kind in ("JobRelease", "SegmentStart", "SegmentEnd", "HyperperiodReset"):
+            assert kind in output
+        import json
+
+        from repro.runtime.trace import EventTrace
+
+        rows = json.loads(target.read_text())["events"]
+        trace = EventTrace.from_dicts(rows)  # strict: kinds and fields validate
+        assert len(trace) > 0
+        assert f"{len(trace)} events" in output
+
+    def test_trace_periodic_has_no_jitter_label(self, capsys):
+        assert main(["trace", "--hyperperiods", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "arrivals=periodic" in output
 
     @pytest.mark.parametrize("argv", [
         ["simulate", "--app", "demo", "--policy", "oracle"],

@@ -1,0 +1,86 @@
+"""Unit tests for the arrival models (release jitter of sporadic workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import WorkloadError
+from repro.core.task import Task
+from repro.core.taskset import TaskSet
+from repro.workloads.arrivals import (
+    PeriodicArrivals,
+    SporadicArrivals,
+    available_arrival_models,
+    get_arrival_model,
+)
+
+
+@pytest.fixture()
+def instances():
+    taskset = TaskSet([
+        Task("a", period=10, wcec=1000),
+        Task("b", period=20, wcec=2000),
+    ], name="arrivals")
+    return taskset.instances()
+
+
+def test_registry():
+    assert available_arrival_models() == ("periodic", "sporadic")
+    assert isinstance(get_arrival_model("periodic"), PeriodicArrivals)
+    model = get_arrival_model("sporadic", max_jitter=2.5)
+    assert isinstance(model, SporadicArrivals)
+    assert model.max_jitter == 2.5
+    with pytest.raises(WorkloadError, match="unknown arrival model"):
+        get_arrival_model("poisson")
+
+
+def test_negative_jitter_rejected():
+    with pytest.raises(WorkloadError, match="non-negative"):
+        SporadicArrivals(max_jitter=-0.1)
+
+
+def test_periodic_draws_nothing(instances):
+    """The paper's model: all-zero offsets AND an untouched generator."""
+    rng = np.random.default_rng(1)
+    state_before = rng.bit_generator.state
+    offsets = PeriodicArrivals().sample_offsets(rng, instances, n=3)
+    assert offsets.shape == (3, len(instances))
+    assert not offsets.any()
+    assert rng.bit_generator.state == state_before
+
+
+def test_sporadic_offsets_bounded_per_job(instances):
+    """Each job's jitter is clamped to min(max_jitter, its own window)."""
+    model = SporadicArrivals(max_jitter=100.0)
+    offsets = model.sample_offsets(np.random.default_rng(2), instances, n=50)
+    assert offsets.shape == (50, len(instances))
+    assert (offsets >= 0.0).all()
+    for column, instance in enumerate(instances):
+        bound = min(model.max_jitter, instance.window)
+        assert (offsets[:, column] <= bound).all()
+        # With max_jitter far above every window, the window is the binding
+        # bound and the samples should actually explore it.
+        assert offsets[:, column].max() > 0.5 * bound
+
+
+def test_sporadic_single_vectorized_draw(instances):
+    """The determinism contract: one call == one generator advance, so the
+    n-hyperperiod batch equals n stacked single draws from the same stream."""
+    model = SporadicArrivals(max_jitter=1.5)
+    batched = model.sample_offsets(np.random.default_rng(3), instances, n=4)
+    rng = np.random.default_rng(3)
+    stacked = np.vstack([model.sample_offsets(rng, instances) for _ in range(4)])
+    assert batched.shape == stacked.shape == (4, len(instances))
+    # Same distribution family and bounds; the *batched* call must however be
+    # a single uniform(size=(4, k)) draw — verify via the resulting stream.
+    single = np.random.default_rng(3).uniform(
+        0.0,
+        np.array([min(1.5, instance.window) for instance in instances]),
+        size=(4, len(instances)),
+    )
+    np.testing.assert_array_equal(batched, single)
+
+
+def test_zero_jitter_sporadic_is_periodic_in_value(instances):
+    offsets = SporadicArrivals(max_jitter=0.0).sample_offsets(
+        np.random.default_rng(4), instances, n=2)
+    assert not offsets.any()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Non-blocking coverage floor for the simulation runtime.
+
+Reads a ``coverage.py`` JSON report (``coverage json`` / ``pytest --cov
+--cov-report=json``), aggregates line coverage over every file under the
+watched prefix (default ``src/repro/runtime/``) and compares it against the
+committed baseline in ``tools/runtime_coverage_baseline.json``.
+
+A drop below the baseline emits a GitHub ``::warning::`` annotation and the
+script still exits 0 — coverage is a trend signal here, not a merge gate
+(shared-runner flakiness and matrix skews would make a hard gate noisy).
+Raise the baseline deliberately whenever real coverage lands; never raise it
+to whatever the latest run happened to produce.
+
+Usage::
+
+    python tools/coverage_guard.py coverage.json
+    python tools/coverage_guard.py coverage.json --baseline tools/runtime_coverage_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Optional
+
+DEFAULT_BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                "runtime_coverage_baseline.json")
+
+
+def runtime_coverage(report: dict, prefix: str) -> Optional[float]:
+    """Aggregate percent line coverage of every report file under ``prefix``.
+
+    Returns ``None`` when the report contains no matching files (e.g. the
+    suite ran without importing the runtime at all) so the caller can warn
+    about the guard itself being blind rather than reporting 0%.
+    """
+    normalized_prefix = prefix.replace("\\", "/").rstrip("/") + "/"
+    covered = 0
+    total = 0
+    for path, data in report.get("files", {}).items():
+        normalized = path.replace("\\", "/")
+        # Reports may carry absolute paths; substring-match the prefix.
+        if normalized_prefix not in normalized:
+            continue
+        summary = data.get("summary", {})
+        file_covered = int(summary.get("covered_lines", 0))
+        file_missing = int(summary.get("missing_lines", 0))
+        covered += file_covered
+        total += file_covered + file_missing
+    if total == 0:
+        return None
+    return 100.0 * covered / total
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="coverage.py JSON report file")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="baseline JSON file with 'prefix' and 'percent'")
+    args = parser.parse_args(argv)
+
+    with open(args.report) as handle:
+        report = json.load(handle)
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+
+    prefix = baseline.get("prefix", "src/repro/runtime/")
+    floor = float(baseline["percent"])
+    percent = runtime_coverage(report, prefix)
+    if percent is None:
+        print(f"::warning::coverage guard: no files under {prefix!r} in the "
+              f"report — the runtime was never imported?")
+        return 0
+    line = (f"coverage guard: {prefix} at {percent:.2f}% line coverage "
+            f"(baseline {floor:.2f}%)")
+    if percent < floor:
+        print(f"::warning::{line} — below the merge baseline; see "
+              f"tools/runtime_coverage_baseline.json before raising or lowering it")
+    else:
+        print(line)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())
