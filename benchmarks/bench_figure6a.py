@@ -19,6 +19,18 @@ fixed ~190-numpy-call toll spread over however many units are still live, so
 it only overtakes the compiled loop beyond roughly 200 concurrent units and
 plateaus around 2x at 900+.  The width here sits on that plateau; sweeps
 narrower than ~100 units should stay on the compiled engine.
+
+The ``*_plan_*`` benchmarks isolate the other stage: the offline NLP solves.
+``plan_sequential`` times the historical per-scheduler loop,
+``plan_batched`` the cross-problem coordinator (every solve of the sweep
+advancing in lock-step against stacked objective evaluations) with a fresh
+memo per round, and ``plan_memo_warm`` the resume path — a pre-warmed solve
+memo replays every schedule with **zero** optimizer calls, which is where
+the real-world speedup lives (resumed, repeated and reseeded sweeps).  On a
+single core the cold batched path is roughly cost-neutral — stacking the
+objective evaluations cannot dodge SLSQP's own serial C iterations — so the
+cold pair is tracked for parity, the warm number for the win.  All three
+must agree bitwise with the sequential reference.
 """
 
 from dataclasses import replace
@@ -26,8 +38,10 @@ from dataclasses import replace
 import numpy as np
 import pytest
 
+from repro.analysis.preemption import expand_fully_preemptive
 from repro.experiments.figure6a import Figure6aConfig, _build_jobs, run_figure6a
 from repro.experiments.harness import _prepare_units, make_schedulers
+from repro.offline.batched_solver import SolveMemo, plan_expansions
 from repro.runtime.batched import simulate_batch
 from repro.runtime.compiled import run_compiled
 
@@ -156,3 +170,71 @@ def test_figure6a_sim_compiled_traced(benchmark, sim_units):
         assert reference.trace is None
         assert traced.total_energy == reference.total_energy
         assert traced.energy_by_task == reference.energy_by_task
+
+
+@pytest.fixture(scope="module")
+def plan_items():
+    """Every (expansion, methods) planning group of the sweep, built untimed.
+
+    18 jobs x 2 methods = 36 scheduler programs; the ACS half are NLP
+    solves (two waves each: WCS seeding then the average-case refinement).
+    """
+    processor = BENCH_CONFIG.resolved_processor()
+    return [
+        (expand_fully_preemptive(job.resolve_taskset()),
+         make_schedulers(job.schedulers, processor))
+        for job in _build_jobs(BENCH_CONFIG, processor)
+    ]
+
+
+def _plan_sequential(items):
+    return [{name: scheduler.schedule_expansion(expansion)
+             for name, scheduler in methods.items()}
+            for expansion, methods in items]
+
+
+def _plan_batched(items):
+    # Fresh empty memo per call: every timed round re-solves the whole
+    # sweep, so the number measures the coordinator, not the cache.
+    return plan_expansions(items, memo=SolveMemo())
+
+
+def _plan_memoized(items, memo):
+    return plan_expansions(items, memo=memo)
+
+
+def _assert_plans_identical(results, reference):
+    assert len(results) == len(reference)
+    for group, expected in zip(results, reference):
+        assert group.keys() == expected.keys()
+        for name in expected:
+            ours, theirs = group[name], expected[name]
+            assert ours.method == theirs.method
+            assert tuple(ours.end_times()) == tuple(theirs.end_times())
+            assert tuple(ours.wc_budgets()) == tuple(theirs.wc_budgets())
+            assert ours.objective_value == theirs.objective_value
+
+
+def test_figure6a_plan_sequential(benchmark, plan_items):
+    """Offline planning stage only, per-scheduler sequential solves (baseline)."""
+    results = benchmark.pedantic(_plan_sequential, args=(plan_items,),
+                                 rounds=3, iterations=1)
+    assert len(results) == len(plan_items)
+
+
+def test_figure6a_plan_batched(benchmark, plan_items):
+    """Offline planning through the batched coordinator, cold memo every round."""
+    results = benchmark.pedantic(_plan_batched, args=(plan_items,),
+                                 rounds=3, iterations=1)
+    _assert_plans_identical(results, _plan_sequential(plan_items))
+
+
+def test_figure6a_plan_memo_warm(benchmark, plan_items):
+    """Replanning from a warm solve memo — the resume path, zero optimizer calls."""
+    memo = SolveMemo()
+    plan_expansions(plan_items, memo=memo)  # warm it, untimed
+    computed_cold = memo.computed
+    results = benchmark.pedantic(_plan_memoized, args=(plan_items, memo),
+                                 rounds=3, iterations=1)
+    assert memo.computed == computed_cold  # no timed round ran a solver
+    _assert_plans_identical(results, _plan_sequential(plan_items))

@@ -21,8 +21,10 @@ regardless of worker count or completion order.
 from __future__ import annotations
 
 import copy
+import functools
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -33,6 +35,7 @@ from ..core.taskset import TaskSet
 from ..offline.acs import ACSScheduler
 from ..offline.base import VoltageScheduler
 from ..offline.baselines import ConstantSpeedScheduler, MaxSpeedScheduler
+from ..offline.batched_solver import SolveMemo, default_solve_memo, plan_expansions
 from ..offline.schedule import StaticSchedule
 from ..offline.wcs import WCSScheduler
 from ..power.processor import ProcessorModel
@@ -98,6 +101,13 @@ class ComparisonConfig:
     #: paper's strictly periodic model).  Only consulted when ``simulation``
     #: is unset.
     arrivals: Optional["ArrivalModel"] = None
+    #: Plan the offline schedules through the batched solver
+    #: (:mod:`repro.offline.batched_solver`): one comparison's NLP solves run
+    #: concurrently against a stacked evaluation, share the content-addressed
+    #: solve memo, and — in batch execution — join the solver pool of the
+    #: whole chunk.  Bitwise-identical schedules either way; ``False`` pins
+    #: the per-scheduler sequential solves (e.g. for equivalence sweeps).
+    batched_planning: bool = True
 
     def simulation_config(self) -> SimulationConfig:
         if self.simulation is not None:
@@ -204,19 +214,56 @@ def default_schedulers(processor: ProcessorModel) -> Dict[str, VoltageScheduler]
 # --------------------------------------------------------------------- #
 # Single comparison
 # --------------------------------------------------------------------- #
+def _resolve_solve_memo(solve_memo_root: Optional[str]) -> SolveMemo:
+    """The solve memo for a worker: persistent when a store root is given.
+
+    A root (the scenario result store's directory, as a picklable string)
+    gives every worker process its own :class:`SolveMemo` view onto the same
+    on-disk store — puts are atomic, so concurrent workers cooperate instead
+    of clashing, and a resumed sweep finds its solves.  The memo lives in a
+    ``solve-memo/`` subdirectory so the scenario store's own record listing
+    and garbage collection keep seeing only scenario payloads.  Without a
+    root the process-wide in-memory memo still deduplicates within the run.
+    """
+    if solve_memo_root is None:
+        return default_solve_memo()
+    from ..scenarios.store import ResultStore
+
+    return SolveMemo(ResultStore(Path(solve_memo_root) / "solve-memo"))
+
+
+def _plan_schedules(expansion, methods: Dict[str, VoltageScheduler],
+                    cfg: ComparisonConfig,
+                    solve_memo: Optional[SolveMemo]) -> Dict[str, StaticSchedule]:
+    """Offline-plan one comparison's methods, batched or sequential per config."""
+    if cfg.batched_planning:
+        (schedules,) = plan_expansions(
+            [(expansion, methods)],
+            memo=solve_memo if solve_memo is not None else default_solve_memo(),
+        )
+        return schedules
+    return {name: scheduler.schedule_expansion(expansion)
+            for name, scheduler in methods.items()}
+
+
 def _prepare_units(taskset: TaskSet, processor: ProcessorModel,
                    methods: Dict[str, VoltageScheduler],
-                   cfg: ComparisonConfig) -> Tuple[Dict[str, StaticSchedule], List[BatchUnit]]:
+                   cfg: ComparisonConfig,
+                   schedules: Optional[Dict[str, StaticSchedule]] = None,
+                   solve_memo: Optional[SolveMemo] = None,
+                   ) -> Tuple[Dict[str, StaticSchedule], List[BatchUnit]]:
     """Schedules plus one simulation work unit per method for one comparison.
 
     Every unit carries its own deepcopied policy (a stateful policy must not
     leak one method's runtime history into the next method's simulation) and
     its own fresh generator seeded with ``cfg.seed`` (paired comparison:
-    every method sees the same workload realisations).
+    every method sees the same workload realisations).  Pre-planned
+    ``schedules`` (from a cross-job batched planning pass) skip the planning
+    stage entirely.
     """
-    expansion = expand_fully_preemptive(taskset)
-    schedules = {name: scheduler.schedule_expansion(expansion)
-                 for name, scheduler in methods.items()}
+    if schedules is None:
+        expansion = expand_fully_preemptive(taskset)
+        schedules = _plan_schedules(expansion, methods, cfg, solve_memo)
     sim_config = cfg.simulation_config()
     units = [
         BatchUnit(schedule=schedules[name], processor=processor,
@@ -229,7 +276,8 @@ def _prepare_units(taskset: TaskSet, processor: ProcessorModel,
 
 def compare_schedulers(taskset: TaskSet, processor: ProcessorModel,
                        schedulers: Optional[Dict[str, VoltageScheduler]] = None,
-                       config: Optional[ComparisonConfig] = None) -> ComparisonResult:
+                       config: Optional[ComparisonConfig] = None,
+                       solve_memo: Optional[SolveMemo] = None) -> ComparisonResult:
     """Schedule ``taskset`` with every scheduler and simulate all of them with paired randomness."""
     cfg = config or ComparisonConfig()
     methods = schedulers or default_schedulers(processor)
@@ -238,7 +286,8 @@ def compare_schedulers(taskset: TaskSet, processor: ProcessorModel,
             f"baseline {cfg.baseline!r} is not among the schedulers {sorted(methods)}"
         )
 
-    schedules, units = _prepare_units(taskset, processor, methods, cfg)
+    schedules, units = _prepare_units(taskset, processor, methods, cfg,
+                                      solve_memo=solve_memo)
     if cfg.simulation_config().batched:
         # All methods advance in lock-step through the batched engine.
         simulations = simulate_batch(units)
@@ -317,24 +366,31 @@ def random_comparison_job(processor: ProcessorModel, taskset_config: RandomTaskS
     )
 
 
-def _execute_comparison_job(job: ComparisonJob) -> ComparisonResult:
+def _execute_comparison_job(job: ComparisonJob,
+                            solve_memo_root: Optional[str] = None) -> ComparisonResult:
     """Worker entry point (module-level so the process pool can pickle it)."""
     taskset = job.resolve_taskset()
     schedulers = make_schedulers(job.schedulers, job.processor)
-    return compare_schedulers(taskset, job.processor, schedulers, job.config)
+    return compare_schedulers(taskset, job.processor, schedulers, job.config,
+                              solve_memo=_resolve_solve_memo(solve_memo_root))
 
 
-def _execute_comparison_batch(jobs: Sequence[ComparisonJob]) -> List[ComparisonResult]:
+def _execute_comparison_batch(jobs: Sequence[ComparisonJob],
+                              solve_memo_root: Optional[str] = None,
+                              ) -> List[ComparisonResult]:
     """Run many comparison jobs as one lock-step batch of simulation units.
 
     Every ``(job, method)`` pair becomes one :class:`BatchUnit`; the batched
-    engine advances all of them together.  Each unit still carries its own
-    generator and policy copy, so the results are bitwise-identical to
+    engine advances all of them together.  Offline planning is batched the
+    same way: the programs of every ``batched_planning`` job in the chunk
+    join one solver pool, so their SLSQP evaluations stack across jobs and
+    identical solves collapse into the memo.  Each unit still carries its
+    own generator and policy copy, so the results are bitwise-identical to
     executing the jobs one by one (the batched engine's own contract).
     Module-level so the process pool can pickle it.
     """
-    prepared = []
-    units: List[BatchUnit] = []
+    solve_memo = _resolve_solve_memo(solve_memo_root)
+    entries = []
     for job in jobs:
         taskset = job.resolve_taskset()
         methods = make_schedulers(job.schedulers, job.processor)
@@ -343,7 +399,25 @@ def _execute_comparison_batch(jobs: Sequence[ComparisonJob]) -> List[ComparisonR
             raise ExperimentError(
                 f"baseline {cfg.baseline!r} is not among the schedulers {sorted(methods)}"
             )
-        schedules, job_units = _prepare_units(taskset, job.processor, methods, cfg)
+        entries.append((job, taskset, methods, cfg, expand_fully_preemptive(taskset)))
+
+    batchable = [index for index, (_, _, _, cfg, _) in enumerate(entries)
+                 if cfg.batched_planning]
+    planned = plan_expansions(
+        [(entries[index][4], entries[index][2]) for index in batchable],
+        memo=solve_memo,
+    )
+    planned_schedules: Dict[int, Dict[str, StaticSchedule]] = dict(zip(batchable, planned))
+
+    prepared = []
+    units: List[BatchUnit] = []
+    for index, (job, taskset, methods, cfg, expansion) in enumerate(entries):
+        schedules = planned_schedules.get(index)
+        if schedules is None:
+            schedules = {name: scheduler.schedule_expansion(expansion)
+                         for name, scheduler in methods.items()}
+        schedules, job_units = _prepare_units(taskset, job.processor, methods, cfg,
+                                              schedules=schedules)
         prepared.append((taskset, cfg, schedules))
         units.extend(job_units)
     simulations = simulate_batch(units)
@@ -361,7 +435,8 @@ def _execute_comparison_batch(jobs: Sequence[ComparisonJob]) -> List[ComparisonR
 
 
 def iter_comparisons(jobs: Sequence[ComparisonJob], n_jobs: int = 1,
-                     chunksize: int = 1) -> Iterator[ComparisonResult]:
+                     chunksize: int = 1,
+                     solve_memo_root: Optional[str] = None) -> Iterator[ComparisonResult]:
     """Execute comparison jobs, yielding each result as soon as it is known.
 
     Results arrive in submission order with the same bitwise guarantee as
@@ -381,7 +456,7 @@ def iter_comparisons(jobs: Sequence[ComparisonJob], n_jobs: int = 1,
     jobs = list(jobs)
     if all(job.config.simulation_config().batched for job in jobs) and len(jobs) > 1:
         if n_jobs == 1:
-            yield from _execute_comparison_batch(jobs)
+            yield from _execute_comparison_batch(jobs, solve_memo_root=solve_memo_root)
             return
         workers = min(n_jobs, len(jobs))
         # Contiguous, near-even chunks: worker w takes jobs[w::workers] would
@@ -389,27 +464,35 @@ def iter_comparisons(jobs: Sequence[ComparisonJob], n_jobs: int = 1,
         bounds = np.linspace(0, len(jobs), workers + 1).astype(int)
         chunks = [jobs[bounds[w]:bounds[w + 1]] for w in range(workers)]
         chunks = [chunk for chunk in chunks if chunk]
+        run_batch = functools.partial(_execute_comparison_batch,
+                                      solve_memo_root=solve_memo_root)
         with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
-            for batch in pool.map(_execute_comparison_batch, chunks):
+            for batch in pool.map(run_batch, chunks):
                 yield from batch
         return
     if n_jobs == 1 or len(jobs) <= 1:
         for job in jobs:
-            yield _execute_comparison_job(job)
+            yield _execute_comparison_job(job, solve_memo_root=solve_memo_root)
         return
     workers = min(n_jobs, len(jobs))
+    run_job = functools.partial(_execute_comparison_job,
+                                solve_memo_root=solve_memo_root)
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        yield from pool.map(_execute_comparison_job, jobs, chunksize=chunksize)
+        yield from pool.map(run_job, jobs, chunksize=chunksize)
 
 
 def run_comparisons(jobs: Sequence[ComparisonJob], n_jobs: int = 1,
-                    chunksize: int = 1) -> List[ComparisonResult]:
+                    chunksize: int = 1,
+                    solve_memo_root: Optional[str] = None) -> List[ComparisonResult]:
     """Execute a batch of comparison jobs, optionally on a process pool.
 
     ``n_jobs=1`` runs in-process (no pool overhead, easiest to debug);
     ``n_jobs>1`` fans the units out over a :class:`ProcessPoolExecutor`.
     Results are returned in submission order and are bitwise-identical for
     any ``n_jobs``, because every unit derives its randomness from its own
-    coordinates rather than from shared-generator call order.
+    coordinates rather than from shared-generator call order.  A
+    ``solve_memo_root`` (the scenario store's directory) makes the offline
+    solve memo persistent, so resumed or repeated sweeps skip solved NLPs.
     """
-    return list(iter_comparisons(jobs, n_jobs=n_jobs, chunksize=chunksize))
+    return list(iter_comparisons(jobs, n_jobs=n_jobs, chunksize=chunksize,
+                                 solve_memo_root=solve_memo_root))

@@ -3,6 +3,16 @@
 from .acs import ACSScheduler
 from .base import VoltageScheduler
 from .baselines import ConstantSpeedScheduler, MaxSpeedScheduler
+from .batched_solver import (
+    NLPSolveTask,
+    SolveMemo,
+    default_solve_memo,
+    plan_expansions,
+    run_program,
+    run_programs,
+    solve_fallback_reason,
+    solve_tasks,
+)
 from .evaluation import (
     AnalyticOutcome,
     CompiledEvaluation,
@@ -25,6 +35,14 @@ __all__ = [
     "WCSScheduler",
     "StochasticACSScheduler",
     "sample_scenarios",
+    "NLPSolveTask",
+    "SolveMemo",
+    "default_solve_memo",
+    "plan_expansions",
+    "run_program",
+    "run_programs",
+    "solve_fallback_reason",
+    "solve_tasks",
     "LiteralNLPScheduler",
     "MaxSpeedScheduler",
     "ConstantSpeedScheduler",

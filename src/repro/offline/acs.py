@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 from ..analysis.preemption import FullyPreemptiveSchedule
 from .base import VoltageScheduler
+from .batched_solver import NLPSolveTask, run_program
 from .nlp import ReducedNLP, SolverOptions
 from .schedule import StaticSchedule
 
@@ -59,19 +60,32 @@ class ACSScheduler(VoltageScheduler):
         by construction), which guarantees that ACS is never worse than the
         baseline on the average-case objective.
         """
+        return run_program(self.schedule_program(expansion))
+
+    def schedule_program(self, expansion: FullyPreemptiveSchedule):
+        """:meth:`schedule_expansion` as a batchable wave program.
+
+        Wave 1 solves the heuristically seeded ACS problem and the WCS warm
+        start together; wave 2 re-solves ACS from the WCS solution.  Driven
+        sequentially this performs the exact solve sequence documented above;
+        driven by the batched planner the independent wave members share one
+        stacked evaluation.
+        """
         nlp = ReducedNLP(expansion, self.processor, workload_mode="acec", options=self.options)
-        candidates = [nlp.solve()]
-        if self.seed_with_wcs:
+        if not self.seed_with_wcs:
+            (schedule,) = yield (NLPSolveTask(nlp),)
+            candidates = [schedule]
+        else:
             wcs_nlp = ReducedNLP(expansion, self.processor, workload_mode="wcec", options=self.options)
-            wcs_schedule = wcs_nlp.solve()
+            plain, wcs_schedule = yield (NLPSolveTask(nlp), NLPSolveTask(wcs_nlp))
             wcs_vectors = nlp.pack(wcs_schedule.end_times(), wcs_schedule.wc_budgets())
-            candidates.append(nlp.solve(wcs_vectors))
-            candidates.append(StaticSchedule.from_vectors(
+            (seeded,) = yield (NLPSolveTask(nlp, x0=wcs_vectors),)
+            candidates = [plain, seeded, StaticSchedule.from_vectors(
                 expansion, wcs_schedule.end_times(), wcs_schedule.wc_budgets(),
                 method="acs",
                 objective_value=float(nlp.objective(wcs_vectors)),
                 metadata={**wcs_schedule.metadata, "seed": "wcs-as-is"},
-            ))
+            )]
         best = min(candidates, key=lambda schedule: schedule.objective_value)
         best.validate(self.processor)
         return best

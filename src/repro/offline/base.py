@@ -39,3 +39,23 @@ class VoltageScheduler(ABC):
     @abstractmethod
     def schedule_expansion(self, expansion: FullyPreemptiveSchedule) -> StaticSchedule:
         """Compute the static schedule for an existing expansion."""
+
+    def schedule_program(self, expansion: FullyPreemptiveSchedule):
+        """The scheduler's solve sequence as a batchable *program*.
+
+        A program is a generator that yields waves of
+        :class:`~repro.offline.batched_solver.NLPSolveTask` tuples, receives
+        the matching tuple of solved :class:`StaticSchedule` objects for each
+        wave, and returns the final schedule.  Driving a program sequentially
+        (:func:`~repro.offline.batched_solver.run_program`) reproduces
+        :meth:`schedule_expansion` bitwise; driving many programs together
+        (:func:`~repro.offline.batched_solver.run_programs`) lets the batched
+        planner stack their solver evaluations across problems.
+
+        The default delegates to :meth:`schedule_expansion` without yielding —
+        right for schedulers that do not solve NLPs.  Schedulers built on
+        :class:`~repro.offline.nlp.ReducedNLP` override this and express
+        :meth:`schedule_expansion` in terms of it.
+        """
+        return self.schedule_expansion(expansion)
+        yield ()  # pragma: no cover - unreachable; makes this a generator

@@ -153,6 +153,11 @@ class ReducedNLP:
         self._bounds_upper: Optional[np.ndarray] = None
         self._last_point: Optional[np.ndarray] = None
         self._last_value: float = 0.0
+        #: Optional evaluation backend (the batched planner's coordinator).
+        #: When set, compiled objective/batch evaluations are routed through it
+        #: so many concurrent solves can share one stacked evaluation; the
+        #: backend is contractually bitwise-transparent.
+        self._backend = None
         self._compiled: Optional[List[Tuple[float, CompiledEvaluation]]] = None
         if CompiledEvaluation.supported(self.processor):
             if self.scenarios is not None:
@@ -215,25 +220,31 @@ class ReducedNLP:
         """
         if self._compiled is not None:
             values = np.asarray(x, dtype=float).tolist()
-            n_subs = self._n_subs
-            end_times = values[:n_subs]
-            budgets = self._budget_template.copy()
-            for position, sub_index in enumerate(self._budget_var_subs_list):
-                budgets[sub_index] = values[n_subs + position]
-            if self.scenarios is not None:
-                total_weight = sum(weight for weight, _ in self.scenarios)
-                energy = 0.0
-                for weight, evaluator in self._compiled:
-                    energy += weight * evaluator.energy_from_lists(end_times, budgets)
-                energy /= total_weight
+            if self._backend is not None:
+                energy = self._backend.evaluate_scalar(self, values)
             else:
-                energy = self._compiled[0][1].energy_from_lists(end_times, budgets)
+                energy = self._scalar_energy(values)
             # Memoize the last point: the solver evaluates the objective and
             # then the gradient at the same x, and the gradient needs f0.
             self._last_point = np.array(values)
             self._last_value = energy
             return energy
         return self.objective_reference(x)
+
+    def _scalar_energy(self, values: List[float]) -> float:
+        """Compiled scalar objective of a full variable-value list."""
+        n_subs = self._n_subs
+        end_times = values[:n_subs]
+        budgets = self._budget_template.copy()
+        for position, sub_index in enumerate(self._budget_var_subs_list):
+            budgets[sub_index] = values[n_subs + position]
+        if self.scenarios is not None:
+            total_weight = sum(weight for weight, _ in self.scenarios)
+            energy = 0.0
+            for weight, evaluator in self._compiled:
+                energy += weight * evaluator.energy_from_lists(end_times, budgets)
+            return energy / total_weight
+        return self._compiled[0][1].energy_from_lists(end_times, budgets)
 
     def objective_reference(self, x: np.ndarray) -> float:
         """The uncompiled objective (kept as the equivalence oracle)."""
@@ -264,7 +275,14 @@ class ReducedNLP:
             raise SchedulingError(
                 "objective_batch requires the compiled evaluation (linear-law processor)"
             )
-        end_times, budgets = self._unpack_batch(np.asarray(x_columns, dtype=float))
+        columns = np.asarray(x_columns, dtype=float)
+        if self._backend is not None:
+            return self._backend.evaluate_batch(self, columns)
+        return self._batch_energy(columns)
+
+    def _batch_energy(self, columns: np.ndarray) -> np.ndarray:
+        """Compiled batched objective of a ``(n_vars, K)`` column matrix."""
+        end_times, budgets = self._unpack_batch(columns)
         if self.scenarios is not None:
             total_weight = sum(weight for weight, _ in self.scenarios)
             energy = np.zeros(end_times.shape[1])

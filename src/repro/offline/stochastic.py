@@ -25,9 +25,9 @@ from ..analysis.preemption import FullyPreemptiveSchedule
 from ..core.errors import SchedulingError
 from ..workloads.distributions import NormalWorkload, WorkloadModel
 from .base import VoltageScheduler
+from .batched_solver import NLPSolveTask, run_program
 from .nlp import ReducedNLP, SolverOptions
 from .schedule import StaticSchedule
-from .wcs import WCSScheduler
 
 __all__ = ["StochasticACSScheduler", "sample_scenarios"]
 
@@ -78,22 +78,31 @@ class StochasticACSScheduler(VoltageScheduler):
         return "acs_stochastic"
 
     def schedule_expansion(self, expansion: FullyPreemptiveSchedule) -> StaticSchedule:
+        return run_program(self.schedule_program(expansion))
+
+    def schedule_program(self, expansion: FullyPreemptiveSchedule):
+        """The sample-average solve sequence as a batchable wave program.
+
+        Mirrors :meth:`ACSScheduler.schedule_program`: wave 1 pairs the
+        scenario-weighted solve with the WCS warm start (the WCS problem is
+        the same reduced NLP :class:`~repro.offline.wcs.WCSScheduler` solves),
+        wave 2 re-solves the weighted objective from the WCS solution.
+        """
         scenarios = sample_scenarios(expansion, self.workload, self.n_scenarios, self.seed)
         nlp = ReducedNLP(expansion, self.processor, workload_mode="acec",
                          options=self.options, scenarios=scenarios)
-
-        candidates = [nlp.solve()]
         # Warm start from the WCS solution and keep it as a feasible candidate,
         # mirroring ACSScheduler's multi-seed strategy.
-        wcs_schedule = WCSScheduler(self.processor, options=self.options).schedule_expansion(expansion)
+        wcs_nlp = ReducedNLP(expansion, self.processor, workload_mode="wcec", options=self.options)
+        plain, wcs_schedule = yield (NLPSolveTask(nlp), NLPSolveTask(wcs_nlp))
         wcs_vectors = nlp.pack(wcs_schedule.end_times(), wcs_schedule.wc_budgets())
-        candidates.append(nlp.solve(wcs_vectors))
-        candidates.append(StaticSchedule.from_vectors(
+        (seeded,) = yield (NLPSolveTask(nlp, x0=wcs_vectors),)
+        candidates = [plain, seeded, StaticSchedule.from_vectors(
             expansion, wcs_schedule.end_times(), wcs_schedule.wc_budgets(),
             method=self.name,
             objective_value=float(nlp.objective(wcs_vectors)),
             metadata={**wcs_schedule.metadata, "seed": "wcs-as-is"},
-        ))
+        )]
         best = min(candidates, key=lambda schedule: schedule.objective_value)
         best.validate(self.processor)
         best.metadata.setdefault("n_scenarios", self.n_scenarios)

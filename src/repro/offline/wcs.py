@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from ..analysis.preemption import FullyPreemptiveSchedule
 from .base import VoltageScheduler
+from .batched_solver import NLPSolveTask, run_program
 from .nlp import ReducedNLP, SolverOptions
 from .schedule import StaticSchedule
 
@@ -31,5 +32,9 @@ class WCSScheduler(VoltageScheduler):
         return "wcs"
 
     def schedule_expansion(self, expansion: FullyPreemptiveSchedule) -> StaticSchedule:
+        return run_program(self.schedule_program(expansion))
+
+    def schedule_program(self, expansion: FullyPreemptiveSchedule):
         nlp = ReducedNLP(expansion, self.processor, workload_mode="wcec", options=self.options)
-        return nlp.solve()
+        (schedule,) = yield (NLPSolveTask(nlp),)
+        return schedule

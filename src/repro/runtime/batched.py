@@ -33,10 +33,15 @@ arithmetic — ``static`` and ``greedy`` first and foremost, plus ``lookahead``
 and ``proportional`` — is branch-free enough to express with masks), the
 linear delay law, the stock :class:`~repro.power.transition.TransitionModel`
 and the default ``record``/no-timeline/continuous-voltage configuration.
+Arrival models (release jitter) are vectorized too: every unit's offsets are
+drawn in one :meth:`~repro.workloads.arrivals.ArrivalModel.sample_offsets`
+call before its workload draw — the scalar engines' exact stream order — and
+jittered lanes re-derive their dispatch ranks per hyperperiod with one row
+``lexsort`` (the same strict total order the compiled loop sorts by).
 Anything else — subclassed policies (whose hooks and overrides must observe
 the exact scalar call sequence), CMOS-law processors, discrete voltage
 levels, recorded timelines, event tracing (``SimulationConfig(trace=True)``),
-non-periodic arrival models, ``on_deadline_miss="raise"`` — falls back
+``on_deadline_miss="raise"`` — falls back
 *per unit* to :func:`repro.runtime.compiled.run_compiled`, so a mixed batch
 still returns the right result for every unit.  Policy lifecycle hooks are
 not invoked from the vectorized core (the built-in policies define them as
@@ -125,8 +130,6 @@ def batch_fallback_reason(unit: BatchUnit) -> Optional[str]:
         return "record_timeline"
     if config.trace:
         return "trace"
-    if config.arrivals is not None:
-        return f"arrival model {type(config.arrivals).__name__}"
     if config.on_deadline_miss != "record":
         return f"on_deadline_miss={config.on_deadline_miss!r}"
     if config.voltage_levels is not None:
@@ -170,6 +173,18 @@ class _SoAEngine:
     stays within each job's real entry range.
     """
 
+    #: Field order of the packed per-(unit, job) hot state, axis 2 of
+    #: ``jobpack``.  The first three columns are the ones ``_execute``
+    #: writes back; the rest are read-only within a dispatch.
+    _JOBPACK_FIELDS = ("budget", "actual", "wc_rem", "cur_end_abs",
+                       "cur_planned", "dl_abs", "fin_abs", "ceff",
+                       "position", "last_entry", "task_of_job")
+
+    def _bind_jobpack_views(self) -> None:
+        """(Re)bind the named 2-D attribute views into ``jobpack``."""
+        for i, name in enumerate(self._JOBPACK_FIELDS):
+            setattr(self, name, self.jobpack[:, :, i])
+
     def __init__(self, units: List[BatchUnit]) -> None:
         self.units = units
         compiled = [CompiledSchedule(unit.schedule, unit.processor) for unit in units]
@@ -200,6 +215,19 @@ class _SoAEngine:
         self.policy_id = np.array(
             [_POLICY_IDS[type(unit.policy)] for unit in units], dtype=np.int64)
 
+        # The jobpack: every hot per-(unit, job) float column the dispatch
+        # kernel touches, packed into one contiguous (U, J, 11) array.  The
+        # named attributes below are 2-D *views* into it (rebound by
+        # :meth:`_bind_jobpack_views` whenever the pack is reallocated), so
+        # all bookkeeping code reads naturally while ``_execute`` pays one
+        # fancy-index gather and one scatter per step instead of ~15.
+        # ``position``/``last_entry``/``task_of_job`` ride along as floats
+        # (small integers, exact in float64) and are cast at their few index
+        # uses.
+        self.jobpack = np.zeros((U, J, len(self._JOBPACK_FIELDS)), dtype=float)
+        self.jobpack[:, :, self._JOBPACK_FIELDS.index("ceff")] = 1.0
+        self._bind_jobpack_views()
+
         # Per-(unit, job) static data, padded to J columns.
         self.valid = np.zeros((U, J), dtype=bool)
         self.rel = np.zeros((U, J), dtype=float)
@@ -208,19 +236,25 @@ class _SoAEngine:
         self.wc_total = np.zeros((U, J), dtype=float)
         self.first_budget = np.zeros((U, J), dtype=float)
         self.wcec = np.zeros((U, J), dtype=float)
-        self.ceff = np.ones((U, J), dtype=float)
         self.rank = np.full((U, J), 2**31, dtype=np.int64)
         self.job_of_rank = np.zeros((U, J), dtype=np.int64)
-        self.last_entry = np.zeros((U, J), dtype=np.int64)
-        self.task_of_job = np.zeros((U, J), dtype=np.int64)
+        # Dispatch-rank sort keys, needed only by jittered lanes: priority
+        # (+inf padding keeps padding jobs behind every real job) and the
+        # rank of the unique (task name, job index) pair — an
+        # order-isomorphic integer stand-in for the compiled loop's string
+        # tiebreak, so one row lexsort reproduces its sort exactly.
+        self.prio = np.full((U, J), np.inf, dtype=float)
+        self.tiebreak = np.zeros((U, J), dtype=np.int64)
 
         self.entry_budget = np.zeros((U, J, E), dtype=float)
         self.entry_end = np.zeros((U, J, E), dtype=float)
         self.entry_slot = np.zeros((U, J, E), dtype=float)
         self.entry_planned = np.zeros((U, J, E), dtype=float)
 
-        # Sorted release times (relative) with a +inf sentinel column: the
-        # per-unit release cursor indexes this row to find the next release.
+        # Sorted *absolute* release times with a +inf sentinel column,
+        # refilled at every hyperperiod reset: the per-unit release cursor
+        # indexes this row to find the next release.  (Absolute, not
+        # relative-plus-offset, because jittered releases do not decompose.)
         self.rel_sorted = np.full((U, J + 1), np.inf, dtype=float)
 
         self.task_names: List[List[str]] = []
@@ -239,6 +273,10 @@ class _SoAEngine:
             self.ceff[u, :n] = c.ceffs
             self.rank[u, :n] = c.rank_of_job
             self.job_of_rank[u, :n] = c.job_of_rank
+            self.prio[u, :n] = c.priorities
+            order = sorted(range(n), key=lambda j: (c.task_names[j], c.job_indices[j]))
+            for tb, j in enumerate(order):
+                self.tiebreak[u, j] = tb
             names: List[str] = []
             index_of: Dict[str, int] = {}
             for j in range(n):
@@ -253,7 +291,6 @@ class _SoAEngine:
                     index_of[name] = len(names)
                     names.append(name)
                 self.task_of_job[u, j] = index_of[name]
-            self.rel_sorted[u, :n] = np.sort(self.rel[u, :n])
             self.task_names.append(names)
             self.job_names.append(list(c.task_names))
             self.job_indices.append(list(c.job_indices))
@@ -266,8 +303,18 @@ class _SoAEngine:
         # Whole-run workload draws, one sample_batch call per unit exactly as
         # the compiled path makes it (the bitwise RNG-stream contract), rows
         # padded to (widest horizon, J) so a hyperperiod reset is one gather.
+        # Arrival jitter is drawn first, per unit, mirroring run_compiled's
+        # stream order (jitter draw, then workload draw); lanes without an
+        # arrival model make no draw and keep all-zero jitter rows.
+        self.has_jitter = np.array(
+            [unit.config.arrivals is not None for unit in units], dtype=bool)
+        self.jitter_arr = np.zeros((U, int(self.n_hp.max()), J), dtype=float)
         self.samples_arr = np.zeros((U, int(self.n_hp.max()), J), dtype=float)
         for u, (unit, c) in enumerate(zip(units, compiled)):
+            if unit.config.arrivals is not None:
+                offs = unit.config.arrivals.sample_offsets(
+                    unit.rng, c.instances, int(self.n_hp[u]))
+                self.jitter_arr[u, :int(self.n_hp[u]), :c.n_jobs] = offs
             drawn = unit.workload.sample_batch(unit.rng, c.tasks, int(self.n_hp[u]))
             self.samples_arr[u, :int(self.n_hp[u]), :c.n_jobs] = drawn
 
@@ -277,21 +324,13 @@ class _SoAEngine:
         self.offset = np.zeros(U, dtype=float)
         self.hp_index = np.zeros(U, dtype=np.int64)
         self.cursor = np.zeros(U, dtype=np.int64)
-        self.actual = np.zeros((U, J), dtype=float)
-        self.budget = np.zeros((U, J), dtype=float)
-        self.wc_rem = np.zeros((U, J), dtype=float)
-        self.position = np.zeros((U, J), dtype=np.int64)
         self.unfinished = np.zeros((U, J), dtype=bool)
         #: Jobs whose current entry budget is exhausted but whose position has
         #: not been advanced yet (maintained incrementally at dispatch/reset
         #: time so the step loop never scans all budgets).
         self.pending_advance = np.zeros((U, J), dtype=bool)
         self.rel_abs = np.zeros((U, J), dtype=float)
-        self.dl_abs = np.zeros((U, J), dtype=float)
-        self.fin_abs = np.zeros((U, J), dtype=float)
         self.cur_slot_abs = np.zeros((U, J), dtype=float)
-        self.cur_end_abs = np.zeros((U, J), dtype=float)
-        self.cur_planned = np.zeros((U, J), dtype=float)
         self.has_voltage = np.zeros(U, dtype=bool)
         self.cur_voltage = np.zeros(U, dtype=float)
         self.energy_hp = np.zeros(U, dtype=float)
@@ -331,7 +370,36 @@ class _SoAEngine:
         self.pending_advance[lanes] = (self.first_budget[lanes] <= _EPS) & \
             (self.last_entry[lanes] > 0)
         off = offset[lanes][:, None]
-        self.rel_abs[lanes] = self.rel[lanes] + off
+        rel_abs = self.rel[lanes] + off
+        jm = self.has_jitter[lanes]
+        if jm.any():
+            # Release jitter, added after the offset — the compiled loop's
+            # exact association (release + offset, then += jitter).  All-zero
+            # jitter rows (PeriodicArrivals) are bitwise no-ops.
+            jl = lanes[jm]
+            rel_abs[jm] += self.jitter_arr[jl, self.hp_index[jl]]
+            # Jittered releases reshuffle dispatch order across hyperperiods:
+            # re-derive the rank permutation exactly as CompiledRunner sorts
+            # its jobs — by (priority, absolute release, task name, job
+            # index), the last two standing in as the precomputed integer
+            # ``tiebreak``.  np.lexsort's primary key is the *last* one.
+            order = np.lexsort(
+                (self.tiebreak[jl], rel_abs[jm], self.prio[jl]), axis=-1)
+            self.job_of_rank[jl] = order
+            ranks = np.empty_like(order)
+            np.put_along_axis(
+                ranks, order,
+                np.broadcast_to(np.arange(order.shape[1]), order.shape),
+                axis=1)
+            # Padding jobs pick up small ranks here (their +inf priority
+            # sorts them last); harmless — they are never eligible, and the
+            # masked rank reduction only looks at eligible jobs.
+            self.rank[jl] = ranks
+        self.rel_abs[lanes] = rel_abs
+        # Refill the sorted-release row with *absolute* times (+inf padding;
+        # the sentinel column J never needs rewriting).
+        self.rel_sorted[lanes, :rel_abs.shape[1]] = np.sort(
+            np.where(self.valid[lanes], rel_abs, np.inf), axis=1)
         self.dl_abs[lanes] = self.dl[lanes] + off
         self.fin_abs[lanes] = self.fin_end[lanes] + off
         self.cur_slot_abs[lanes] = self.entry_slot[lanes, :, 0] + off
@@ -368,13 +436,10 @@ class _SoAEngine:
                "fmin", "trans_free", "trans_ec", "policy_id", "active", "time",
                "offset", "hp_index", "cursor", "has_voltage", "cur_voltage",
                "energy_hp", "trans_hp", "trans_total", "slot", "max_entries",
-               "n_tasks_arr")
+               "n_tasks_arr", "has_jitter")
     _ROW_2D = ("valid", "rel", "dl", "fin_end", "wc_total", "first_budget",
-               "wcec", "ceff", "rank", "job_of_rank", "last_entry",
-               "task_of_job", "actual",
-               "budget", "wc_rem", "position", "unfinished", "pending_advance",
-               "rel_abs", "dl_abs", "fin_abs", "cur_slot_abs", "cur_end_abs",
-               "cur_planned")
+               "wcec", "rank", "job_of_rank", "prio", "tiebreak",
+               "unfinished", "pending_advance", "rel_abs", "cur_slot_abs")
     _ROW_3D = ("entry_budget", "entry_end", "entry_slot", "entry_planned")
     _ROW_LISTS = ("units", "compiled", "task_names", "job_names",
                   "job_indices", "task_order", "energy_per_hp", "misses")
@@ -403,9 +468,12 @@ class _SoAEngine:
         self.rel_sorted = self.rel_sorted[keep][:, :J + 1]
         for name in self._ROW_3D:
             setattr(self, name, getattr(self, name)[keep][:, :J, :E])
+        self.jobpack = self.jobpack[keep][:, :J]
+        self._bind_jobpack_views()
         self.task_energy = self.task_energy[keep][:, :T]
         self.task_touched = self.task_touched[keep][:, :T]
         self.samples_arr = self.samples_arr[keep][:, :int(self.n_hp.max()), :J]
+        self.jitter_arr = self.jitter_arr[keep][:, :int(self.n_hp.max()), :J]
         for name in self._ROW_LISTS:
             values = getattr(self, name)
             setattr(self, name, [values[index] for index in keep])
@@ -443,8 +511,8 @@ class _SoAEngine:
         advance = self.pending_advance & live
         while advance.any():
             uu, jj = np.nonzero(advance)
-            self.position[uu, jj] += 1
-            pp = self.position[uu, jj]
+            self.position[uu, jj] += 1.0
+            pp = self.position[uu, jj].astype(np.intp)
             self.budget[uu, jj] = self.entry_budget[uu, jj, pp]
             self.cur_slot_abs[uu, jj] = self.entry_slot[uu, jj, pp] + self.offset[uu]
             self.cur_end_abs[uu, jj] = self.entry_end[uu, jj, pp] + self.offset[uu]
@@ -466,12 +534,13 @@ class _SoAEngine:
         min_rank = np.min(self.rank, axis=1, initial=_NO_RANK, where=eligible)
         any_eligible = min_rank < _NO_RANK
 
-        # Next release per unit: first sorted release strictly beyond time+eps.
-        next_release = self.rel_sorted[self.u_range, self.cursor] + self.offset
+        # Next release per unit: first sorted release strictly beyond time+eps
+        # (``rel_sorted`` already holds absolute times).
+        next_release = self.rel_sorted[self.u_range, self.cursor]
         behind = active & (next_release <= t_eps)
         while behind.any():
             self.cursor[behind] += 1
-            next_release = self.rel_sorted[self.u_range, self.cursor] + self.offset
+            next_release = self.rel_sorted[self.u_range, self.cursor]
             behind = active & (next_release <= t_eps)
 
         executing = active & any_eligible
@@ -515,14 +584,20 @@ class _SoAEngine:
     def _execute(self, lanes: np.ndarray, sel: np.ndarray,
                  next_release: np.ndarray) -> None:
         # ``sel`` is the dispatched job per lane, already resolved in _step
-        # from the masked rank reduction.
-        b_sel = self.budget[lanes, sel]
-        a_sel = self.actual[lanes, sel]
-        wc_sel = self.wc_rem[lanes, sel]
-        end_abs = self.cur_end_abs[lanes, sel]
-        planned = self.cur_planned[lanes, sel]
-        dl_abs = self.dl_abs[lanes, sel]
-        fin_abs = self.fin_abs[lanes, sel]
+        # from the masked rank reduction.  One fused gather pulls every hot
+        # per-(lane, job) column out of the jobpack at once.
+        pack = self.jobpack[lanes, sel]
+        b_sel = pack[:, 0]
+        a_sel = pack[:, 1]
+        wc_sel = pack[:, 2]
+        end_abs = pack[:, 3]
+        planned = pack[:, 4]
+        dl_abs = pack[:, 5]
+        fin_abs = pack[:, 6]
+        ceff_sel = pack[:, 7]
+        position = pack[:, 8]
+        last_entry = pack[:, 9]
+        tasks = pack[:, 10].astype(np.intp)
         now = self.time[lanes]
         fmax = self.fmax[lanes]
         fmin = self.fmin[lanes]
@@ -547,8 +622,7 @@ class _SoAEngine:
             # entry: the numerical fringe, which finishes at fmax/vmax.  The
             # scalar loops' requeue branch is unreachable under the same
             # invariants; guard it rather than silently stalling the lane.
-            fringe = zero & (b_sel <= _EPS) & \
-                (self.position[lanes, sel] >= self.last_entry[lanes, sel])
+            fringe = zero & (b_sel <= _EPS) & (position >= last_entry)
             if not bool(np.all(fringe[zero])):
                 raise AssertionError(
                     "batched engine: zero-budget dispatch outside the fmax fringe")
@@ -577,11 +651,10 @@ class _SoAEngine:
         duration = np.where(preempt, np.maximum(until_release, 0.0), duration)
 
         cycles = duration * frequency
-        segment = cycles * ((self.ceff[lanes, sel] * voltage) * voltage)
+        segment = cycles * ((ceff_sel * voltage) * voltage)
         self.energy_hp[lanes] += segment
         self.time[lanes] = now + duration
 
-        tasks = self.task_of_job[lanes, sel]
         self.task_energy[lanes, tasks] += segment
         touched = self.task_touched[lanes, tasks]
         if not touched.all():
@@ -593,11 +666,16 @@ class _SoAEngine:
 
         new_actual = np.maximum(a_sel - cycles, 0.0)
         new_budget = np.maximum(b_sel - cycles, 0.0)
-        self.actual[lanes, sel] = new_actual
-        self.budget[lanes, sel] = new_budget
-        self.wc_rem[lanes, sel] = np.maximum(wc_sel - cycles, 0.0)
+        new_wc = np.maximum(wc_sel - cycles, 0.0)
+        # One fused scatter writes the pack back: the three mutated columns
+        # carry the new values, the rest rewrite their just-gathered values
+        # (each (lane, sel) pair is unique, so the rewrite is a no-op).
+        pack[:, 0] = new_budget
+        pack[:, 1] = new_actual
+        pack[:, 2] = new_wc
+        self.jobpack[lanes, sel] = pack
         self.pending_advance[lanes, sel] = (new_budget <= _EPS) & \
-            (self.position[lanes, sel] < self.last_entry[lanes, sel])
+            (position < last_entry)
 
         finished = new_actual <= _EPS
         if finished.any():

@@ -21,7 +21,7 @@ import copy
 import itertools
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import asdict, dataclass, field, is_dataclass
+from dataclasses import asdict, dataclass, field, is_dataclass, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -49,7 +49,15 @@ from ..workloads.random_tasksets import RandomTaskSetConfig
 from .spec import ScenarioError, ScenarioSpec, TasksetSpec, _set_dotted
 from .store import STORE_FORMAT, MemoryStore, ResultStore, signature_key
 
-__all__ = ["ScenarioEngine", "ScenarioResult", "CompiledPoint", "CompiledScenario"]
+__all__ = ["AUTO_BATCH_THRESHOLD", "ScenarioEngine", "ScenarioResult",
+           "CompiledPoint", "CompiledScenario"]
+
+#: ``simulation.engine = "auto"`` crossover: sweeps with at least this many
+#: simulation work units (jobs x scheduler methods) run on the batched SoA
+#: engine, smaller ones on the compiled scalar loop.  Measured on the
+#: Figure-6a shape: below ~200 units the batched engine's padding and
+#: array-allocation overhead outweighs its lock-step amortisation.
+AUTO_BATCH_THRESHOLD = 200
 
 
 # --------------------------------------------------------------------- #
@@ -278,6 +286,7 @@ class ScenarioEngine:
     def _compile_comparison(self, spec: ScenarioSpec) -> CompiledScenario:
         points: List[CompiledPoint] = []
         units: Dict[str, _Unit] = {}
+        auto_keys: List[str] = []
         for coords_idx, coords, point_spec in self._expand_matrix(spec):
             processor = point_spec.power.build()
             simulation = point_spec.simulation
@@ -332,7 +341,21 @@ class ScenarioEngine:
                 key = signature_key(_comparison_signature(job))
                 units[key] = job
                 point.unit_keys.append(key)
+                if simulation.engine == "auto":
+                    auto_keys.append(key)
             points.append(point)
+        # engine = "auto": pick the runtime per sweep size.  Each job
+        # simulates one unit per scheduler method; past the measured
+        # crossover the SoA engine's lock-step amortisation wins, below it
+        # the compiled scalar loop does.  Flipping ``batched`` after keying
+        # is deliberate — the engine choice is not part of the signature.
+        if auto_keys:
+            total_units = sum(len(job.schedulers) for job in units.values())
+            if total_units >= AUTO_BATCH_THRESHOLD:
+                for key in set(auto_keys):
+                    job = units[key]
+                    units[key] = replace(
+                        job, config=replace(job.config, batched=True))
         return CompiledScenario(spec=spec, points=points, units=units)
 
     def _compile_multicore(self, spec: ScenarioSpec) -> CompiledScenario:
@@ -432,7 +455,14 @@ class ScenarioEngine:
             from ..reporting.serialization import comparison_result_to_dict
 
             jobs = [compiled.units[key] for key in comparison_keys]
-            results = iter_comparisons(jobs, n_jobs=n_jobs)
+            # A disk-backed store doubles as the solve memo's persistence
+            # root: NLP solves land next to the comparison payloads, so a
+            # killed sweep resumes its offline planning for free.
+            solve_memo_root = (
+                str(self.store.root) if isinstance(self.store, ResultStore) else None
+            )
+            results = iter_comparisons(jobs, n_jobs=n_jobs,
+                                       solve_memo_root=solve_memo_root)
             for key, result in zip(comparison_keys, results):
                 payload = comparison_result_to_dict(result)
                 self.store.put(key, payload, scenario=spec.name, label=labels[key])

@@ -231,27 +231,30 @@ class PowerSpec:
 
 
 #: Simulation engines selectable from a scenario file.
-SIMULATION_ENGINES = ("compiled", "batched")
+SIMULATION_ENGINES = ("auto", "compiled", "batched")
 
 
 @dataclass(frozen=True)
 class SimulationSpec:
     """How long, how often and how reproducibly each point is simulated.
 
-    ``engine`` selects the runtime event loop: ``"compiled"`` (the default
-    scalar fast path) or ``"batched"`` (the structure-of-arrays engine of
+    ``engine`` selects the runtime event loop: ``"compiled"`` (the scalar
+    fast path), ``"batched"`` (the structure-of-arrays engine of
     :mod:`repro.runtime.batched`, which advances all of a sweep's work units
-    in lock-step).  Both engines are bitwise-identical for the same spec, so
-    the choice deliberately does **not** enter the result-store signature —
-    a batched run store-hits records computed by a compiled run and vice
-    versa.
+    in lock-step), or ``"auto"`` (the default: the scenario engine counts
+    the sweep's work units after expansion and picks batched only past the
+    measured crossover, ~200 units, below which SoA padding overhead beats
+    its amortisation).  All choices are bitwise-identical for the same
+    spec, so the engine deliberately does **not** enter the result-store
+    signature — a batched run store-hits records computed by a compiled
+    run and vice versa.
     """
 
     hyperperiods: int = 20
     seed: int = 2005
     repetitions: int = 1
     fast_path: bool = True
-    engine: str = "compiled"
+    engine: str = "auto"
     #: Record the typed event stream of every simulation on the stored
     #: payloads (see :mod:`repro.runtime.trace`).  Only valid for
     #: ``kind = "comparison"``; batched units fall back to the compiled loop.
@@ -354,7 +357,7 @@ class ScenarioSpec:
                 f"kind = 'comparison' scenarios, not {self.kind!r}",
             )
             _require(
-                self.simulation.engine == "compiled",
+                self.simulation.engine in ("auto", "compiled"),
                 f"simulation.engine = 'batched' is only supported for kind = 'comparison' "
                 f"scenarios (the batched engine sits beneath the comparison harness), "
                 f"not {self.kind!r}",

@@ -1,0 +1,191 @@
+"""Batched offline planner: bitwise equivalence and solve memoization.
+
+``plan_expansions`` runs many schedulers' NLP solves concurrently against a
+stacked objective evaluation.  The planner's whole value rests on a hard
+promise: every :class:`StaticSchedule` it returns is *bitwise identical* to
+the one the scheduler's own sequential ``schedule_expansion`` produces —
+same end times, same budgets, same objective value, float for float.  These
+tests hold it to that promise across every registered scheduler (including
+the scenario-weighted stochastic ACS and the x0-seeded ACS waves), across
+cross-task-set batches, and through the content-addressed solve memo (warm
+replays must recompute nothing and still hand out fresh, independently
+mutable schedule objects).
+"""
+
+import pytest
+
+from repro.analysis.preemption import expand_fully_preemptive
+from repro.offline import (
+    NLPSolveTask,
+    SolveMemo,
+    plan_expansions,
+    run_program,
+    solve_fallback_reason,
+    solve_tasks,
+)
+from repro.offline.acs import ACSScheduler
+from repro.offline.baselines import ConstantSpeedScheduler, MaxSpeedScheduler
+from repro.offline.nlp import ReducedNLP, SolverOptions
+from repro.offline.stochastic import StochasticACSScheduler
+from repro.offline.wcs import WCSScheduler
+
+
+def assert_schedules_identical(left, right):
+    """Bitwise equality of everything a schedule reports."""
+    assert left.method == right.method
+    assert left.end_times() == right.end_times()
+    assert left.wc_budgets() == right.wc_budgets()
+    assert left.objective_value == right.objective_value
+    assert left.metadata == right.metadata
+
+
+def all_schedulers(processor):
+    return {
+        "wcs": WCSScheduler(processor),
+        "acs": ACSScheduler(processor),
+        "acs_stochastic": StochasticACSScheduler(processor, n_scenarios=4),
+        "max_speed": MaxSpeedScheduler(processor),
+        "constant_speed": ConstantSpeedScheduler(processor),
+    }
+
+
+class TestBitwiseEquivalence:
+    def test_batched_planning_matches_sequential_solves(self, processor,
+                                                        three_task_set):
+        """Every scheduler, one shared batch vs one-at-a-time: bitwise equal."""
+        methods = all_schedulers(processor)
+        expansion = expand_fully_preemptive(three_task_set)
+        sequential = {name: scheduler.schedule_expansion(expansion)
+                      for name, scheduler in methods.items()}
+        (batched,) = plan_expansions([(expansion, methods)], memo=SolveMemo())
+        assert set(batched) == set(sequential)
+        for name in sequential:
+            assert_schedules_identical(batched[name], sequential[name])
+
+    def test_cross_problem_batch_matches_per_problem_plans(self, processor,
+                                                           two_task_set,
+                                                           three_task_set):
+        """Two task sets' solves interleave in shared waves, bitwise equal."""
+        items = [
+            (expand_fully_preemptive(two_task_set), all_schedulers(processor)),
+            (expand_fully_preemptive(three_task_set), all_schedulers(processor)),
+        ]
+        batched = plan_expansions(items, memo=SolveMemo())
+        for (expansion, methods), group in zip(items, batched):
+            for name, scheduler in methods.items():
+                assert_schedules_identical(group[name],
+                                           scheduler.schedule_expansion(expansion))
+
+    def test_seeded_acs_wave_structure(self, processor, two_task_set):
+        """ACS's x0-seeded second wave survives batching bitwise."""
+        expansion = expand_fully_preemptive(two_task_set)
+        scheduler = ACSScheduler(processor)
+        assert scheduler.seed_with_wcs  # the two-wave path is the default
+        (batched,) = plan_expansions(
+            [(expansion, {"acs": scheduler})], memo=SolveMemo())
+        assert_schedules_identical(batched["acs"],
+                                   scheduler.schedule_expansion(expansion))
+
+    def test_cmos_law_takes_the_sequential_fallback(self, cmos, two_task_set):
+        """Non-linear processors can't stack evaluations; the per-problem
+        fallback must still return the bitwise-identical schedule."""
+        expansion = expand_fully_preemptive(two_task_set)
+        nlp = ReducedNLP(expansion, cmos, workload_mode="wcec")
+        reason = solve_fallback_reason(NLPSolveTask(nlp))
+        assert reason is not None and "cmos" in reason
+        methods = {"wcs": WCSScheduler(cmos), "acs": ACSScheduler(cmos)}
+        (batched,) = plan_expansions([(expansion, methods)], memo=SolveMemo())
+        for name, scheduler in methods.items():
+            assert_schedules_identical(batched[name],
+                                       scheduler.schedule_expansion(expansion))
+
+    def test_non_slsqp_method_takes_the_sequential_fallback(self, processor,
+                                                            two_task_set):
+        expansion = expand_fully_preemptive(two_task_set)
+        options = SolverOptions(method="trust-constr")
+        nlp = ReducedNLP(expansion, processor, workload_mode="wcec",
+                         options=options)
+        reason = solve_fallback_reason(NLPSolveTask(nlp))
+        assert reason is not None and "trust-constr" in reason
+
+
+class TestSolveMemo:
+    def test_warm_replan_computes_nothing(self, processor, three_task_set):
+        memo = SolveMemo()
+        expansion = expand_fully_preemptive(three_task_set)
+        methods = all_schedulers(processor)
+        (cold,) = plan_expansions([(expansion, methods)], memo=memo)
+        computed_cold = memo.computed
+        assert computed_cold > 0
+        (warm,) = plan_expansions([(expansion, methods)], memo=memo)
+        assert memo.computed == computed_cold  # zero new solves
+        for name in cold:
+            assert_schedules_identical(warm[name], cold[name])
+
+    def test_identical_solves_within_one_wave_are_deduplicated(
+            self, processor, two_task_set):
+        """WCS's wcec NLP appears once per scheduler that seeds from it, but
+        is solved once per wave."""
+        memo = SolveMemo()
+        expansion = expand_fully_preemptive(two_task_set)
+        methods = {"wcs": WCSScheduler(processor), "acs": ACSScheduler(processor)}
+        plan_expansions([(expansion, methods)], memo=memo)
+        # wcs + (acs plain, acs wcs-seed wave 1, acs seeded wave 2) = 4 tasks,
+        # but the two wcec solves coincide -> 3 computed, >= 1 memo hit.
+        assert memo.computed == 3
+        assert memo.hits >= 1
+
+    def test_replayed_schedules_are_independently_mutable(self, processor,
+                                                          two_task_set):
+        """Memo replays hand out fresh objects: mutating one result (as the
+        stochastic scheduler does with ``method``) must not corrupt the memo."""
+        memo = SolveMemo()
+        expansion = expand_fully_preemptive(two_task_set)
+        nlp = ReducedNLP(expansion, processor, workload_mode="wcec")
+        (first,) = solve_tasks((NLPSolveTask(nlp),), memo=memo)
+        first.method = "mutated"
+        nlp2 = ReducedNLP(expansion, processor, workload_mode="wcec")
+        (second,) = solve_tasks((NLPSolveTask(nlp2),), memo=memo)
+        assert second is not first
+        assert second.method != "mutated"
+
+    def test_persistent_memo_survives_a_fresh_process_view(self, processor,
+                                                           two_task_set,
+                                                           tmp_path):
+        """A store-backed memo warms re-runs that never shared memory."""
+        from repro.scenarios.store import ResultStore
+
+        expansion = expand_fully_preemptive(two_task_set)
+        methods = {"wcs": WCSScheduler(processor), "acs": ACSScheduler(processor)}
+        cold_memo = SolveMemo(ResultStore(tmp_path / "memo"))
+        (cold,) = plan_expansions([(expansion, methods)], memo=cold_memo)
+        assert cold_memo.computed > 0
+        # A brand-new memo over the same directory (what a resumed sweep or
+        # another worker process sees) replays every solve from disk.
+        warm_memo = SolveMemo(ResultStore(tmp_path / "memo"))
+        (warm,) = plan_expansions([(expansion, methods)], memo=warm_memo)
+        assert warm_memo.computed == 0
+        for name in cold:
+            assert_schedules_identical(warm[name], cold[name])
+
+    def test_different_processors_never_collide(self, processor, cmos,
+                                                two_task_set):
+        """The memo key covers the processor: a cmos solve can't serve an
+        ideal-processor lookup."""
+        memo = SolveMemo()
+        expansion = expand_fully_preemptive(two_task_set)
+        plan_expansions([(expansion, {"wcs": WCSScheduler(processor)})], memo=memo)
+        first = memo.computed
+        plan_expansions([(expansion, {"wcs": WCSScheduler(cmos)})], memo=memo)
+        assert memo.computed > first
+
+    def test_run_program_rejects_programs_without_a_result(self, processor,
+                                                           two_task_set):
+        from repro.core.errors import SchedulingError
+
+        def bad_program():
+            yield ()
+            return None
+
+        with pytest.raises(SchedulingError):
+            run_program(bad_program())

@@ -148,6 +148,48 @@ def test_mixed_batch_matches_individual_runs(linear_processor, taskset):
         assert_identical(results[index], alone)
 
 
+def test_mixed_batch_with_arrivals_and_compaction(linear_processor, taskset):
+    """Jittered and periodic lanes advance together through row compaction.
+
+    Nine units with staggered horizons force the engine's mid-run row
+    compaction (which triggers only at >= 8 rows); half the units carry a
+    sporadic arrival model, so the compaction must also slice the per-lane
+    jitter table and the packed job state without disturbing either.
+    """
+    from repro.workloads.arrivals import SporadicArrivals
+
+    other = TaskSet([
+        Task("a", period=8, wcec=1200, acec=700, bcec=200),
+        Task("b", period=16, wcec=3000, acec=1500, bcec=500),
+    ], name="other")
+    wcs = WCSScheduler(linear_processor).schedule_expansion(
+        expand_fully_preemptive(taskset))
+    constant = ConstantSpeedScheduler(linear_processor).schedule_expansion(
+        expand_fully_preemptive(other))
+    policies = ["greedy", "static", "lookahead", "proportional"]
+    specs = []
+    for index in range(9):
+        arrivals = SporadicArrivals(max_jitter=1.5) if index % 2 else None
+        specs.append((
+            wcs if index % 3 else constant,
+            policies[index % 4],
+            SimulationConfig(n_hyperperiods=2 + index, arrivals=arrivals),
+        ))
+    units = [
+        BatchUnit(schedule=schedule, processor=linear_processor, policy=policy,
+                  config=config, workload=NormalWorkload(),
+                  rng=np.random.default_rng(500 + index))
+        for index, (schedule, policy, config) in enumerate(specs)
+    ]
+    assert all(batch_fallback_reason(unit) is None for unit in units)
+    results = simulate_batch(units)
+    for index, (schedule, policy, config) in enumerate(specs):
+        alone = run_compiled(schedule, linear_processor, get_policy(policy),
+                             config, NormalWorkload(),
+                             np.random.default_rng(500 + index))
+        assert_identical(results[index], alone)
+
+
 class _RecordingPolicy(GreedySlackPolicy):
     """A subclass (hooks may matter) — must be gated to the compiled fallback."""
 

@@ -204,11 +204,36 @@ def test_batched_engine_falls_back_when_traced(processor, wcs_schedule):
     assert batched_result.total_energy == reference.total_energy
 
 
-def test_batched_engine_falls_back_for_arrivals(processor, wcs_schedule):
+@pytest.mark.parametrize("policy", available_policies())
+def test_batched_engine_matches_traced_oracle_for_arrivals(
+        processor, wcs_schedule, policy):
+    """Sporadic arrivals run in the vectorized core, bitwise-conformant.
+
+    The regression guarded here: jittered releases used to force the
+    per-unit compiled fallback.  Now the batched engine draws per-job
+    offsets and re-ranks its dispatch order per hyperperiod, so the
+    (untraced) batched aggregates must equal the traced compiled run —
+    which in turn is event-equal to the reference loop.
+    """
     from repro.runtime.batched import BatchUnit, batch_fallback_reason
 
-    config = SimulationConfig(
-        n_hyperperiods=3, batched=True, arrivals=SporadicArrivals(max_jitter=1.0))
+    arrivals = SporadicArrivals(max_jitter=1.5)
+    config = SimulationConfig(n_hyperperiods=7, seed=11, batched=True,
+                              arrivals=arrivals)
     unit = BatchUnit(schedule=wcs_schedule, processor=processor,
-                     policy="greedy", config=config)
-    assert batch_fallback_reason(unit) == "arrival model SporadicArrivals"
+                     policy=policy, config=config)
+    assert batch_fallback_reason(unit) is None  # no longer a fallback
+
+    batched = DVSSimulator(processor, policy=policy, config=config).run(
+        wcs_schedule, NormalWorkload(), np.random.default_rng(11))
+    # Traced compiled run: the event-level oracle (itself checked against
+    # the reference engine by test_sporadic_arrivals).
+    traced_config = SimulationConfig(n_hyperperiods=7, seed=11, trace=True,
+                                     arrivals=arrivals)
+    traced = DVSSimulator(processor, policy=policy, config=traced_config).run(
+        wcs_schedule, NormalWorkload(), np.random.default_rng(11))
+    assert len(traced.trace) > 0
+    assert batched.total_energy == traced.total_energy
+    assert batched.energy_per_hyperperiod == traced.energy_per_hyperperiod
+    assert batched.energy_by_task == traced.energy_by_task
+    assert batched.deadline_misses == traced.deadline_misses

@@ -223,6 +223,48 @@ class TestEngineChoiceEquivalence:
         assert warm.points == cold.points
 
 
+class TestAutoEngineSelection:
+    """engine = "auto" (the default) picks the runtime from the sweep size."""
+
+    def compiled_scenario(self, repetitions, engine=None):
+        simulation = {"hyperperiods": 2, "seed": 7, "repetitions": repetitions}
+        if engine is not None:
+            simulation["engine"] = engine
+        spec = ScenarioSpec.from_dict({
+            "kind": "comparison",
+            "name": "auto-choice",
+            "taskset": {"source": "random", "n_tasks": 3, "periods": [10.0, 20.0, 40.0]},
+            "simulation": simulation,
+            "matrix": {"taskset.ratio": [0.1, 0.9]},
+        })
+        return ScenarioEngine().compile(spec)
+
+    def test_small_sweep_stays_on_the_compiled_loop(self):
+        # 2 matrix points x 2 repetitions x 2 methods = 8 units < threshold.
+        compiled = self.compiled_scenario(repetitions=2)
+        assert all(not job.config.batched for job in compiled.units.values())
+
+    def test_large_sweep_flips_to_the_batched_engine(self):
+        from repro.scenarios.engine import AUTO_BATCH_THRESHOLD
+
+        # 2 matrix points x 50 repetitions x 2 methods = 200 units.
+        compiled = self.compiled_scenario(repetitions=50)
+        total = sum(len(job.schedulers) for job in compiled.units.values())
+        assert total >= AUTO_BATCH_THRESHOLD
+        assert all(job.config.batched for job in compiled.units.values())
+
+    def test_explicit_engine_choice_overrides_auto(self):
+        compiled = self.compiled_scenario(repetitions=50, engine="compiled")
+        assert all(not job.config.batched for job in compiled.units.values())
+        batched = self.compiled_scenario(repetitions=2, engine="batched")
+        assert all(job.config.batched for job in batched.units.values())
+
+    def test_auto_flip_does_not_change_unit_keys(self):
+        auto = self.compiled_scenario(repetitions=50)
+        explicit = self.compiled_scenario(repetitions=50, engine="compiled")
+        assert set(auto.units) == set(explicit.units)
+
+
 class TestParallelDeterminism:
     def test_worker_count_does_not_change_aggregates(self):
         spec = ScenarioSpec.from_dict({

@@ -60,11 +60,16 @@ class TestValidation:
             ScenarioSpec.from_dict(document)
 
     def test_simulation_engine_defaults_and_round_trips(self):
-        assert ScenarioSpec.from_dict(MINIMAL).simulation.engine == "compiled"
+        assert ScenarioSpec.from_dict(MINIMAL).simulation.engine == "auto"
         spec = ScenarioSpec.from_dict(
             {**MINIMAL, "simulation": {"engine": "batched"}})
         assert spec.simulation.engine == "batched"
         assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_auto_engine_allowed_for_every_kind(self):
+        document = {"kind": "motivation", "name": "m",
+                    "simulation": {"engine": "auto"}}
+        assert ScenarioSpec.from_dict(document).simulation.engine == "auto"
 
     def test_batched_engine_rejected_outside_comparison_kind(self):
         document = {"kind": "motivation", "name": "m",

@@ -139,11 +139,11 @@ class TestResume:
         real_execute = harness._execute_comparison_job
         calls = {"n": 0}
 
-        def dying_execute(job):
+        def dying_execute(job, **kwargs):
             calls["n"] += 1
             if calls["n"] > 2:
                 raise RuntimeError("simulated crash mid-sweep")
-            return real_execute(job)
+            return real_execute(job, **kwargs)
 
         monkeypatch.setattr(harness, "_execute_comparison_job", dying_execute)
         with pytest.raises(RuntimeError, match="mid-sweep"):
