@@ -9,11 +9,19 @@ annotated with a GitHub ``::warning::`` line.  The step is informational by
 default (shared runners are noisy), so the exit status is 0 unless ``--fail``
 is given.
 
+With ``--manifests`` the script instead diffs the *stage timings* recorded in
+two stores' run manifests (written by ``repro run`` next to the result store,
+see docs/architecture.md "Telemetry and run manifests"): scenarios are matched
+by name and each recorded stage (``plan.batched``, ``sim.comparison``, …) is
+compared like a benchmark, which localises a regression to plan vs simulate vs
+store instead of one end-to-end number.
+
 Usage::
 
     python benchmarks/compare_bench.py bench-artifacts/BENCH_*.json
     python benchmarks/compare_bench.py fresh.json --baseline BENCH_2026-07-29.json
     python benchmarks/compare_bench.py fresh.json --threshold 10 --fail
+    python benchmarks/compare_bench.py --manifests old-store new-store
 """
 
 from __future__ import annotations
@@ -51,9 +59,84 @@ def wall_by_name(snapshot: dict) -> dict:
     }
 
 
+def load_manifests(store: Path) -> dict:
+    """``{scenario: manifest}`` read from ``<store>/manifests/*.json``."""
+    manifests = {}
+    for path in sorted((store / "manifests").glob("*.json")):
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            raise SystemExit(f"cannot read run manifest {path}: {error}")
+        manifests[data.get("scenario", path.stem)] = data
+    return manifests
+
+
+def stage_walls(manifest: dict) -> dict:
+    """Stage name -> total seconds, plus the end-to-end ``elapsed`` wall."""
+    walls = {
+        name: data.get("total_seconds")
+        for name, data in manifest.get("stage_timings", {}).items()
+        if data.get("total_seconds") is not None
+    }
+    if manifest.get("elapsed_seconds") is not None:
+        walls["elapsed"] = manifest["elapsed_seconds"]
+    return walls
+
+
+def compare_manifests(baseline_store: Path, fresh_store: Path, threshold: float, fail: bool) -> int:
+    baseline_manifests = load_manifests(baseline_store)
+    fresh_manifests = load_manifests(fresh_store)
+    shared_scenarios = sorted(set(baseline_manifests) & set(fresh_manifests))
+    if not shared_scenarios:
+        print(f"no overlapping scenario manifests between {baseline_store} and {fresh_store}")
+        return 0
+    print(f"baseline: {baseline_store}")
+    print(f"fresh:    {fresh_store}")
+    regressions = []
+    for scenario in shared_scenarios:
+        baseline_walls = stage_walls(baseline_manifests[scenario])
+        fresh_walls = stage_walls(fresh_manifests[scenario])
+        print(f"{scenario}:")
+        for stage in sorted(set(baseline_walls) & set(fresh_walls)):
+            base = baseline_walls[stage]
+            now = fresh_walls[stage]
+            if base <= 0:
+                print(f"  ? {stage}: unusable baseline wall time {base:.3f}s (fresh {now:.3f}s)")
+                continue
+            delta = 100.0 * (now - base) / base
+            marker = " "
+            if delta > threshold:
+                marker = "!"
+                regressions.append((f"{scenario}/{stage}", base, now, delta))
+            print(f"  {marker} {stage}: {base:.3f}s -> {now:.3f}s ({delta:+.1f}%)")
+        only_one_side = sorted(set(baseline_walls) ^ set(fresh_walls))
+        if only_one_side:
+            print(f"  not compared (recorded on one side only): {', '.join(only_one_side)}")
+    for name, base, now, delta in regressions:
+        print(
+            f"::warning title=stage regression::{name} is {delta:.1f}% slower "
+            f"({base:.3f}s -> {now:.3f}s)"
+        )
+    if regressions and fail:
+        return 1
+    return 0
+
+
 def main(argv: list | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("fresh", help="snapshot JSON produced by run_benchmarks.py")
+    parser.add_argument(
+        "fresh",
+        nargs="?",
+        default=None,
+        help="snapshot JSON produced by run_benchmarks.py",
+    )
+    parser.add_argument(
+        "--manifests",
+        nargs=2,
+        default=None,
+        metavar=("BASELINE_STORE", "FRESH_STORE"),
+        help="compare per-stage timings from two stores' run manifests instead of snapshots",
+    )
     parser.add_argument(
         "--baseline",
         default=None,
@@ -71,6 +154,14 @@ def main(argv: list | None = None) -> int:
         help="exit non-zero when any benchmark crosses the threshold",
     )
     options = parser.parse_args(argv)
+
+    if options.manifests:
+        if options.fresh is not None:
+            parser.error("--manifests replaces the snapshot argument; give stores only")
+        baseline_store, fresh_store = (Path(store) for store in options.manifests)
+        return compare_manifests(baseline_store, fresh_store, options.threshold, options.fail)
+    if options.fresh is None:
+        parser.error("a snapshot JSON (or --manifests) is required")
 
     fresh_path = Path(options.fresh)
     fresh = load_snapshot(fresh_path)

@@ -26,6 +26,7 @@ from ..core.errors import AllocationError
 from ..core.taskset import TaskSet
 from ..offline.schedule import StaticSchedule
 from ..power.processor import ProcessorModel
+from ..telemetry.core import current as _telemetry
 from .partitioners import Partition, get_partitioner
 
 __all__ = ["MulticoreProblem", "MulticorePlan", "plan_multicore"]
@@ -162,11 +163,14 @@ def plan_multicore(problem: MulticoreProblem, *, jobs: int = 1,
     populated = resolved.used_cores()
     work = [(resolved.core_tasksets[core], problem.processor, problem.method)
             for core in populated]
-    if jobs == 1 or len(work) <= 1:
-        solved = [_schedule_core(unit) for unit in work]
-    else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
-            solved = list(pool.map(_schedule_core, work))
+    telemetry = _telemetry()
+    telemetry.count("plan.multicore_cores", len(work))
+    with telemetry.span("plan.multicore"):
+        if jobs == 1 or len(work) <= 1:
+            solved = [_schedule_core(unit) for unit in work]
+        else:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
+                solved = list(pool.map(_schedule_core, work))
     schedules: List[Optional[StaticSchedule]] = [None] * resolved.n_cores
     for core, schedule in zip(populated, solved):
         schedules[core] = schedule

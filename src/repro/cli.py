@@ -28,7 +28,12 @@ and the declarative scenario runner (see ``docs/scenarios.md``):
 
 * ``run``       — execute one or more scenario spec files (TOML/JSON) through
   the resumable, content-addressed result store (``--store DIR``, ``--force``,
-  ``--profile smoke``, ``--jobs N``);
+  ``--profile smoke``, ``--jobs N``); ``--telemetry [PATH]`` records spans and
+  counters (JSONL dump plus a stderr summary table), and every store-backed
+  run writes a run manifest under ``<store>/manifests/``;
+* ``stats``     — render the stage timings, counters and fallback tallies of
+  past runs from the stored manifests (and optionally a telemetry JSONL)
+  without re-running anything;
 * ``store``     — inspect (``ls``) or garbage-collect (``gc``) the store.
 
 Use ``--full`` for the paper-scale sample sizes (slow) and ``--quick`` for a
@@ -221,7 +226,20 @@ def build_parser() -> argparse.ArgumentParser:
                      help="recompute (and overwrite) units already present in the store")
     run.add_argument("--output", default=None, metavar="DIR",
                      help="also write one <scenario-name>.json result file per spec here")
+    run.add_argument("--telemetry", nargs="?", const="", default=None, metavar="PATH",
+                     help="record spans/counters; JSONL goes to PATH, or to "
+                          "<store>/telemetry/<scenario>.jsonl when PATH is omitted "
+                          "(a summary table is printed to stderr either way)")
     run.set_defaults(runner=_run_scenarios)
+
+    stats = subparsers.add_parser(
+        "stats",
+        help="render run manifests (stage timings, counters) from a store without re-running")
+    stats.add_argument("store", nargs="?", default=None, metavar="STORE",
+                       help=f"result store directory (default: $REPRO_STORE or {DEFAULT_STORE_DIR})")
+    stats.add_argument("--telemetry", default=None, metavar="PATH",
+                       help="also aggregate spans/counters from this telemetry JSONL dump")
+    stats.set_defaults(runner=_run_stats)
 
     store = subparsers.add_parser(
         "store",
@@ -509,6 +527,14 @@ def _run_scalability(args: argparse.Namespace) -> str:
 def _run_scenarios(args: argparse.Namespace) -> str:
     from .reporting.serialization import save_json, scenario_result_to_dict
     from .scenarios import ResultStore, ScenarioEngine, load_scenario
+    from .telemetry import (
+        JsonlSink,
+        SummarySink,
+        Telemetry,
+        build_manifest,
+        using,
+        write_manifest,
+    )
 
     if args.jobs < 1:
         raise ExperimentError(f"--jobs must be at least 1, got {args.jobs}")
@@ -516,10 +542,40 @@ def _run_scenarios(args: argparse.Namespace) -> str:
         raise ExperimentError("--no-store and --store are mutually exclusive")
     store_dir = None if args.no_store else _resolve_store_dir(args.store)
     engine = ScenarioEngine(ResultStore(store_dir) if store_dir else None)
+    telemetry_arg = getattr(args, "telemetry", None)
+    telemetry_enabled = telemetry_arg is not None
     sections: List[str] = []
     for path in args.specs:
         spec = load_scenario(path, profile=args.profile)
-        result = engine.run(spec, n_jobs=args.jobs, force=args.force)
+        stage_timings = counters = None
+        if telemetry_enabled:
+            # One fresh collector per spec so every manifest and JSONL block
+            # describes exactly one scenario run.
+            telemetry = Telemetry()
+            with using(telemetry):
+                result = engine.run(spec, n_jobs=args.jobs, force=args.force)
+            snapshot = telemetry.snapshot()
+            stage_timings = telemetry.stage_timings()
+            counters = snapshot["counters"]
+            if telemetry_arg:
+                jsonl_path = Path(telemetry_arg)
+            else:
+                jsonl_path = Path(store_dir or ".") / "telemetry" / f"{spec.name}.jsonl"
+            JsonlSink(jsonl_path).emit(snapshot, scenario=spec.name)
+            SummarySink().emit(snapshot, scenario=spec.name)
+        else:
+            result = engine.run(spec, n_jobs=args.jobs, force=args.force)
+        if store_dir:
+            manifest = build_manifest(
+                scenario=spec.name,
+                config=spec.to_dict(),
+                computed=result.computed,
+                skipped=result.skipped,
+                elapsed_seconds=result.elapsed_seconds,
+                stage_timings=stage_timings,
+                counters=counters,
+            )
+            write_manifest(store_dir, manifest)
         if args.output:
             output_dir = Path(args.output)
             output_dir.mkdir(parents=True, exist_ok=True)
@@ -535,6 +591,62 @@ def _run_scenarios(args: argparse.Namespace) -> str:
             f"{result.summary()} (store: {where})",
             f"wall-clock: {result.elapsed_seconds:.2f}s (jobs={args.jobs})",
         ]))
+    return "\n\n".join(sections)
+
+
+def _run_stats(args: argparse.Namespace) -> str:
+    from .telemetry import aggregate_spans, read_jsonl, read_manifests
+
+    store_dir = _resolve_store_dir(args.store)
+    manifests = read_manifests(store_dir)
+    sections: List[str] = []
+    for manifest in manifests:
+        created = datetime.fromtimestamp(manifest.get("created_unix", 0.0), tz=timezone.utc)
+        lines = [
+            f"== {manifest.get('scenario', '?')}",
+            "",
+            f"created: {created.strftime('%Y-%m-%d %H:%M:%S')} UTC | "
+            f"git: {manifest.get('git_rev', 'unknown')[:12]} | "
+            f"config: {manifest.get('config_hash', '?')[:12]}",
+            f"units: computed={manifest.get('computed', 0)} "
+            f"skipped={manifest.get('skipped', 0)} | "
+            f"elapsed: {manifest.get('elapsed_seconds', 0.0):.2f}s",
+        ]
+        timings = manifest.get("stage_timings")
+        if timings:
+            rows: List[List[object]] = [
+                [name, data["count"], f"{data['total_seconds']:.6f}"]
+                for name, data in sorted(timings.items())
+            ]
+            lines += ["", format_markdown_table(["stage", "spans", "total_s"], rows)]
+        counters = manifest.get("counters")
+        if counters:
+            rows = [[name, value] for name, value in sorted(counters.items())]
+            lines += ["", format_markdown_table(["counter", "value"], rows)]
+        sections.append("\n".join(lines))
+    if not sections:
+        sections.append(f"store {store_dir}: no run manifests "
+                        "(run `repro-experiments run ... --store` first)")
+    if args.telemetry:
+        spans: List[dict] = []
+        counters_total: dict = {}
+        records = read_jsonl(args.telemetry)
+        for record in records:
+            spans.extend(record["spans"])
+            for name, value in record["counters"].items():
+                counters_total[name] = counters_total.get(name, 0) + value
+        lines = [f"== telemetry {args.telemetry} ({len(records)} run(s))"]
+        aggregated = aggregate_spans(spans)
+        if aggregated:
+            rows = [[name, data["count"], f"{data['total_seconds']:.6f}"]
+                    for name, data in sorted(aggregated.items())]
+            lines += ["", format_markdown_table(["stage", "spans", "total_s"], rows)]
+        if counters_total:
+            rows = [[name, value] for name, value in sorted(counters_total.items())]
+            lines += ["", format_markdown_table(["counter", "value"], rows)]
+        if not aggregated and not counters_total:
+            lines.append("(no telemetry recorded)")
+        sections.append("\n".join(lines))
     return "\n\n".join(sections)
 
 

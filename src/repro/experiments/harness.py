@@ -22,10 +22,11 @@ from __future__ import annotations
 
 import copy
 import functools
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -39,12 +40,13 @@ from ..offline.batched_solver import SolveMemo, default_solve_memo, plan_expansi
 from ..offline.schedule import StaticSchedule
 from ..offline.wcs import WCSScheduler
 from ..power.processor import ProcessorModel
-from ..runtime.batched import BatchUnit, simulate_batch
+from ..runtime.batched import BatchUnit, batch_fallback_reason, simulate_batch
 from ..runtime.policies import DVSPolicy, GreedySlackPolicy
 from ..runtime.results import SimulationResult, improvement_percent
 from ..runtime.simulator import DVSSimulator, SimulationConfig
 from ..workloads.arrivals import ArrivalModel
 from ..workloads.distributions import NormalWorkload, WorkloadModel
+from ..telemetry.core import current as _telemetry
 from ..workloads.random_tasksets import RandomTaskSetConfig, generate_random_taskset
 from .seeding import SIMULATION_STREAM, TASKSET_STREAM, derive_rng, derive_seed
 
@@ -53,6 +55,7 @@ __all__ = [
     "MethodOutcome",
     "ComparisonResult",
     "ComparisonJob",
+    "aggregate_fallback_reasons",
     "compare_schedulers",
     "run_comparisons",
     "iter_comparisons",
@@ -60,6 +63,7 @@ __all__ = [
     "default_schedulers",
     "make_schedulers",
     "scheduler_names",
+    "warn_if_excessive_fallback",
 ]
 
 
@@ -146,11 +150,21 @@ class MethodOutcome:
 
 @dataclass
 class ComparisonResult:
-    """Outcome of :func:`compare_schedulers` on one task set."""
+    """Outcome of :func:`compare_schedulers` on one task set.
+
+    ``fallback_reasons`` tallies, per reason, how often this comparison's
+    batched stages had to take a per-unit sequential path: keys are
+    ``"batch:<reason>"`` (a simulation unit fell back from the SoA engine
+    to the compiled loop) and ``"solve:<reason>"`` (an NLP solve fell back
+    from the stacked coordinator).  Empty when nothing fell back — and
+    always empty for non-batched runs, whose sequential paths are the
+    chosen route, not a fallback.
+    """
 
     taskset_name: str
     outcomes: Dict[str, MethodOutcome]
     baseline: str
+    fallback_reasons: Dict[str, int] = field(default_factory=dict)
 
     def energy(self, method: str) -> float:
         return self.outcomes[method].mean_energy
@@ -174,6 +188,40 @@ class ComparisonResult:
                 outcome.simulation.miss_count,
             ])
         return result
+
+
+def aggregate_fallback_reasons(tallies: Iterable[Optional[Mapping[str, int]]]) -> Dict[str, int]:
+    """Merge per-unit/per-result ``{reason: count}`` tallies into one."""
+    merged: Dict[str, int] = {}
+    for tally in tallies:
+        if not tally:
+            continue
+        for reason, count in tally.items():
+            merged[reason] = merged.get(reason, 0) + count
+    return merged
+
+
+def warn_if_excessive_fallback(fallback_reasons: Mapping[str, int], total_units: int,
+                               *, context: str) -> None:
+    """One-line warning when >50% of a sweep's simulation units fell back.
+
+    A mostly-fallback batched sweep silently runs at compiled-loop speed;
+    surfacing it once per sweep (never per unit) tells the user to either
+    drop ``batched`` or remove whatever gates the vectorized core.
+    """
+    fell = sum(count for reason, count in fallback_reasons.items() if reason.startswith("batch:"))
+    if total_units > 0 and fell * 2 > total_units:
+        reasons = ", ".join(
+            f"{reason[len('batch:'):]} x{count}"
+            for reason, count in sorted(fallback_reasons.items())
+            if reason.startswith("batch:")
+        )
+        warnings.warn(
+            f"{context}: batched engine fell back for {fell}/{total_units} "
+            f"simulation units ({reasons})",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
 
 # --------------------------------------------------------------------- #
@@ -229,18 +277,32 @@ def _resolve_solve_memo(solve_memo_root: Optional[str]) -> SolveMemo:
         return default_solve_memo()
     from ..scenarios.store import ResultStore
 
-    return SolveMemo(ResultStore(Path(solve_memo_root) / "solve-memo"))
+    # The memo's backing store tallies its own telemetry family, so scenario
+    # payload traffic and solve-memo traffic stay separable in a counter dump.
+    return SolveMemo(
+        ResultStore(Path(solve_memo_root) / "solve-memo", telemetry_prefix="solve_memo_store")
+    )
 
 
 def _plan_schedules(expansion, methods: Dict[str, VoltageScheduler],
                     cfg: ComparisonConfig,
-                    solve_memo: Optional[SolveMemo]) -> Dict[str, StaticSchedule]:
-    """Offline-plan one comparison's methods, batched or sequential per config."""
+                    solve_memo: Optional[SolveMemo],
+                    fallback_out: Optional[Dict[str, int]] = None) -> Dict[str, StaticSchedule]:
+    """Offline-plan one comparison's methods, batched or sequential per config.
+
+    ``fallback_out``, when given, receives the ``solve_fallback_reason``
+    tally of the batched planner (sequential planning is a configuration
+    choice, not a fallback, and contributes nothing).
+    """
     if cfg.batched_planning:
+        group_reasons: Optional[List[Dict[str, int]]] = [] if fallback_out is not None else None
         (schedules,) = plan_expansions(
             [(expansion, methods)],
             memo=solve_memo if solve_memo is not None else default_solve_memo(),
+            fallback_out=group_reasons,
         )
+        if fallback_out is not None and group_reasons:
+            fallback_out.update(aggregate_fallback_reasons(group_reasons))
         return schedules
     return {name: scheduler.schedule_expansion(expansion)
             for name, scheduler in methods.items()}
@@ -251,6 +313,7 @@ def _prepare_units(taskset: TaskSet, processor: ProcessorModel,
                    cfg: ComparisonConfig,
                    schedules: Optional[Dict[str, StaticSchedule]] = None,
                    solve_memo: Optional[SolveMemo] = None,
+                   plan_fallback_out: Optional[Dict[str, int]] = None,
                    ) -> Tuple[Dict[str, StaticSchedule], List[BatchUnit]]:
     """Schedules plus one simulation work unit per method for one comparison.
 
@@ -263,7 +326,8 @@ def _prepare_units(taskset: TaskSet, processor: ProcessorModel,
     """
     if schedules is None:
         expansion = expand_fully_preemptive(taskset)
-        schedules = _plan_schedules(expansion, methods, cfg, solve_memo)
+        schedules = _plan_schedules(expansion, methods, cfg, solve_memo,
+                                    fallback_out=plan_fallback_out)
     sim_config = cfg.simulation_config()
     units = [
         BatchUnit(schedule=schedules[name], processor=processor,
@@ -286,22 +350,35 @@ def compare_schedulers(taskset: TaskSet, processor: ProcessorModel,
             f"baseline {cfg.baseline!r} is not among the schedulers {sorted(methods)}"
         )
 
+    fallback_reasons: Dict[str, int] = {}
+    plan_reasons: Dict[str, int] = {}
     schedules, units = _prepare_units(taskset, processor, methods, cfg,
-                                      solve_memo=solve_memo)
+                                      solve_memo=solve_memo,
+                                      plan_fallback_out=plan_reasons)
+    for reason, count in plan_reasons.items():
+        fallback_reasons["solve:" + reason] = count
     if cfg.simulation_config().batched:
+        for unit in units:
+            reason = batch_fallback_reason(unit)
+            if reason is not None:
+                key = "batch:" + reason
+                fallback_reasons[key] = fallback_reasons.get(key, 0) + 1
         # All methods advance in lock-step through the batched engine.
-        simulations = simulate_batch(units)
+        with _telemetry().span("sim.comparison"):
+            simulations = simulate_batch(units)
     else:
-        simulations = [
-            DVSSimulator(processor, policy=unit.policy, config=unit.config)
-            .run(unit.schedule, unit.workload, unit.rng)
-            for unit in units
-        ]
+        with _telemetry().span("sim.comparison"):
+            simulations = [
+                DVSSimulator(processor, policy=unit.policy, config=unit.config)
+                .run(unit.schedule, unit.workload, unit.rng)
+                for unit in units
+            ]
     outcomes = {
         name: MethodOutcome(method=name, schedule=schedules[name], simulation=simulation)
         for name, simulation in zip(schedules, simulations)
     }
-    return ComparisonResult(taskset_name=taskset.name, outcomes=outcomes, baseline=cfg.baseline)
+    return ComparisonResult(taskset_name=taskset.name, outcomes=outcomes, baseline=cfg.baseline,
+                            fallback_reasons=fallback_reasons)
 
 
 # --------------------------------------------------------------------- #
@@ -403,11 +480,14 @@ def _execute_comparison_batch(jobs: Sequence[ComparisonJob],
 
     batchable = [index for index, (_, _, _, cfg, _) in enumerate(entries)
                  if cfg.batched_planning]
+    group_reasons: List[Dict[str, int]] = []
     planned = plan_expansions(
         [(entries[index][4], entries[index][2]) for index in batchable],
         memo=solve_memo,
+        fallback_out=group_reasons,
     )
     planned_schedules: Dict[int, Dict[str, StaticSchedule]] = dict(zip(batchable, planned))
+    plan_reasons: Dict[int, Dict[str, int]] = dict(zip(batchable, group_reasons))
 
     prepared = []
     units: List[BatchUnit] = []
@@ -418,19 +498,30 @@ def _execute_comparison_batch(jobs: Sequence[ComparisonJob],
                          for name, scheduler in methods.items()}
         schedules, job_units = _prepare_units(taskset, job.processor, methods, cfg,
                                               schedules=schedules)
-        prepared.append((taskset, cfg, schedules))
+        fallback_reasons = {
+            "solve:" + reason: count
+            for reason, count in plan_reasons.get(index, {}).items()
+        }
+        for unit in job_units:
+            reason = batch_fallback_reason(unit)
+            if reason is not None:
+                key = "batch:" + reason
+                fallback_reasons[key] = fallback_reasons.get(key, 0) + 1
+        prepared.append((taskset, cfg, schedules, fallback_reasons))
         units.extend(job_units)
-    simulations = simulate_batch(units)
+    with _telemetry().span("sim.comparison_batch"):
+        simulations = simulate_batch(units)
     results: List[ComparisonResult] = []
     cursor = 0
-    for taskset, cfg, schedules in prepared:
+    for taskset, cfg, schedules, fallback_reasons in prepared:
         outcomes = {}
         for name in schedules:
             outcomes[name] = MethodOutcome(method=name, schedule=schedules[name],
                                            simulation=simulations[cursor])
             cursor += 1
         results.append(ComparisonResult(taskset_name=taskset.name, outcomes=outcomes,
-                                        baseline=cfg.baseline))
+                                        baseline=cfg.baseline,
+                                        fallback_reasons=fallback_reasons))
     return results
 
 

@@ -21,7 +21,6 @@ simulation seed from its own coordinates).
 
 from __future__ import annotations
 
-import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
@@ -33,6 +32,7 @@ from ..power.presets import ideal_processor
 from ..power.processor import ProcessorModel
 from ..runtime.multicore import MulticoreResult, MulticoreRunner
 from ..runtime.simulator import SimulationConfig
+from ..telemetry.core import current as _telemetry
 from ..utils.tables import format_markdown_table
 from ..workloads.cnc import cnc_taskset
 from ..workloads.gap import gap_taskset
@@ -209,13 +209,15 @@ def run_scalability(config: Optional[ScalabilityConfig] = None, *,
     units = [(cfg, n_cores, partitioner)
              for n_cores in cfg.core_counts
              for partitioner in cfg.partitioners]
-    started = time.perf_counter()
-    if cfg.jobs == 1 or len(units) <= 1:
-        points = [_execute_point(unit) for unit in units]
-    else:
-        with ProcessPoolExecutor(max_workers=min(cfg.jobs, len(units))) as pool:
-            points = list(pool.map(_execute_point, units))
-    elapsed = time.perf_counter() - started
+    # Telemetry stage timer (spans when enabled, a bare stopwatch when not);
+    # elapsed_seconds stays derivable bitwise from the recorded span.
+    with _telemetry().stage("scalability.run") as timer:
+        if cfg.jobs == 1 or len(units) <= 1:
+            points = [_execute_point(unit) for unit in units]
+        else:
+            with ProcessPoolExecutor(max_workers=min(cfg.jobs, len(units))) as pool:
+                points = list(pool.map(_execute_point, units))
+    elapsed = timer.elapsed_seconds
     if verbose:
         for point in points:
             print(f"scalability: m={point.n_cores} {point.partitioner} "

@@ -13,23 +13,25 @@ for any ``N``.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..power.presets import ideal_processor
 from ..power.processor import ProcessorModel
 from ..runtime.policies import get_policy
+from ..telemetry.core import current as _telemetry
 from ..utils.tables import format_markdown_table
 from ..workloads.random_tasksets import RandomTaskSetConfig
 from .harness import (
     ComparisonConfig,
     ComparisonJob,
     ComparisonResult,
+    aggregate_fallback_reasons,
     random_comparison_job,
     run_comparisons,
+    warn_if_excessive_fallback,
 )
 
 __all__ = ["SweepConfig", "SweepResult", "run_sweep"]
@@ -53,6 +55,10 @@ class SweepConfig:
     baseline: str = "wcs"
     #: Worker processes (1 = serial); results are identical for any value.
     jobs: int = 1
+    #: Route the simulations through the structure-of-arrays batched engine
+    #: (bitwise-identical results; per-unit fallback reasons surface in
+    #: :meth:`SweepResult.fallback_summary`).
+    batched: bool = False
     processor: Optional[ProcessorModel] = None
     periods: Optional[Sequence[float]] = None
 
@@ -89,6 +95,19 @@ class SweepResult:
             [method, self.mean_energy(method), self.mean_improvement(method)]
             for method in self.methods()
         ]
+
+    def fallback_summary(self) -> Dict[str, int]:
+        """Merged ``{reason: count}`` fallback tally across every comparison.
+
+        Keys are prefixed ``"batch:"`` / ``"solve:"`` (see
+        :class:`~repro.experiments.harness.ComparisonResult`); empty when no
+        batched stage fell back (always the case for non-batched sweeps).
+        """
+        return aggregate_fallback_reasons(result.fallback_reasons for result in self.results)
+
+    def total_units(self) -> int:
+        """Number of simulation work units (one per method per task set)."""
+        return sum(len(result.outcomes) for result in self.results)
 
     def to_markdown(self) -> str:
         """Deterministic report: per-taskset table plus the aggregate table.
@@ -140,7 +159,8 @@ def _build_jobs(cfg: SweepConfig, processor: ProcessorModel) -> List[ComparisonJ
         units.append(random_comparison_job(
             processor, taskset_config,
             ComparisonConfig(n_hyperperiods=cfg.n_hyperperiods, seed=cfg.seed,
-                             baseline=cfg.baseline, policy=get_policy(cfg.policy)),
+                             baseline=cfg.baseline, policy=get_policy(cfg.policy),
+                             batched=cfg.batched),
             sample_index,
             taskset_index=sample_index,
             schedulers=cfg.schedulers,
@@ -153,13 +173,19 @@ def run_sweep(config: Optional[SweepConfig] = None, *, verbose: bool = False) ->
     cfg = config or SweepConfig()
     processor = cfg.resolved_processor()
     units = _build_jobs(cfg, processor)
-    started = time.perf_counter()
-    results = run_comparisons(units, n_jobs=cfg.jobs)
-    elapsed = time.perf_counter() - started
+    # The stage timer replaces the old inline perf_counter pair: with
+    # telemetry enabled the same ns interval is recorded as a "sweep.run"
+    # span, so elapsed_seconds stays bitwise-derivable from the span row.
+    with _telemetry().stage("sweep.run") as timer:
+        results = run_comparisons(units, n_jobs=cfg.jobs)
+    elapsed = timer.elapsed_seconds
+    sweep_result = SweepResult(config=cfg, results=results, elapsed_seconds=elapsed)
+    warn_if_excessive_fallback(sweep_result.fallback_summary(), sweep_result.total_units(),
+                               context=f"sweep ({cfg.n_tasksets} tasksets)")
     if verbose:
         for index, result in enumerate(results):
             best = [m for m in cfg.schedulers if m != cfg.baseline]
             shown = best[0] if best else cfg.baseline
             print(f"sweep: taskset {index} {shown} improvement "
                   f"{result.improvement_over_baseline(shown):.1f}%")
-    return SweepResult(config=cfg, results=results, elapsed_seconds=elapsed)
+    return sweep_result

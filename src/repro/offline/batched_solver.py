@@ -46,6 +46,7 @@ import numpy as np
 
 from ..core.errors import SchedulingError
 from ..power.processor import ProcessorModel
+from ..telemetry.core import current as _telemetry
 from .evaluation import _EPS, CompiledEvaluation
 from .nlp import ReducedNLP
 from .schedule import StaticSchedule
@@ -67,6 +68,13 @@ __all__ = [
 #: A scheduler program: yields waves of solve tasks, receives the matching
 #: wave of schedules, and returns the final schedule via ``StopIteration``.
 SchedulerProgram = Generator[Tuple["NLPSolveTask", ...], Tuple[StaticSchedule, ...], StaticSchedule]
+
+#: Telemetry counter names, precomputed so the disabled path allocates nothing.
+_MEMO_HIT = "solve_memo.hit"
+_MEMO_MISS = "solve_memo.miss"
+_MEMO_COMPUTED = "solve_memo.computed"
+_OBJECTIVE_EVALS = "nlp.objective_evaluations"
+_JACOBIAN_EVALS = "nlp.jacobian_evaluations"
 
 
 @dataclass(frozen=True)
@@ -198,10 +206,14 @@ class SolveMemo:
             payload = self._store.get(key)
         if payload is not None:
             self.hits += 1
+            _telemetry().count(_MEMO_HIT)
+        else:
+            _telemetry().count(_MEMO_MISS)
         return payload
 
     def record(self, key: str, payload: Mapping[str, Any], *, label: str = "") -> None:
         self.computed += 1
+        _telemetry().count(_MEMO_COMPUTED)
         with self._lock:
             self._local[key] = dict(payload)
             while len(self._local) > self._max_entries:
@@ -423,6 +435,7 @@ class _EvaluationCoordinator:
 
     # ---- solver-thread side ------------------------------------------- #
     def _submit(self, request: _Request) -> Any:
+        _telemetry().count(_OBJECTIVE_EVALS if request.kind == "scalar" else _JACOBIAN_EVALS)
         with self._cond:
             if self._failure is not None:
                 raise self._failure
@@ -475,6 +488,7 @@ class _EvaluationCoordinator:
                 if self._live == 0 and not self._pending:
                     break
                 batch, self._pending = self._pending, []
+            _telemetry().observe("solve.drain_width", float(len(batch)))
             try:
                 _evaluate_drain(batch)
             except BaseException as error:  # noqa: BLE001 - poison every waiter
@@ -496,7 +510,12 @@ class _EvaluationCoordinator:
 # --------------------------------------------------------------------- #
 # Wave solving and program driving
 # --------------------------------------------------------------------- #
-def solve_tasks(tasks: Sequence[NLPSolveTask], memo: Optional[SolveMemo] = None) -> List[StaticSchedule]:
+def solve_tasks(
+    tasks: Sequence[NLPSolveTask],
+    memo: Optional[SolveMemo] = None,
+    *,
+    fallback_out: Optional[List[Optional[str]]] = None,
+) -> List[StaticSchedule]:
     """Solve one wave of tasks: memoized, deduplicated, stacked where possible.
 
     Order of resolution per task: a memo hit replays the stored vectors; an
@@ -506,12 +525,19 @@ def solve_tasks(tasks: Sequence[NLPSolveTask], memo: Optional[SolveMemo] = None)
     caller's mutations into another's); the rest are solved — concurrently
     through the evaluation coordinator when vectorizable, sequentially
     otherwise — and recorded in the memo.
+
+    ``fallback_out``, when given, is rewritten to one entry per task: the
+    ``solve_fallback_reason`` string for tasks that took the sequential
+    fallback, ``None`` for everything else (memo hits and in-wave
+    duplicates never reach a solver, so they carry no reason).
     """
     from ..scenarios.store import signature_key
 
     tasks = list(tasks)
     schedules: List[Optional[StaticSchedule]] = [None] * len(tasks)
     keys = [signature_key(solve_signature(task)) for task in tasks]
+    if fallback_out is not None:
+        fallback_out[:] = [None] * len(tasks)
 
     unresolved: List[int] = []
     for index, key in enumerate(keys):
@@ -535,15 +561,23 @@ def solve_tasks(tasks: Sequence[NLPSolveTask], memo: Optional[SolveMemo] = None)
     concurrent: List[int] = []
     for index in unique:
         task = tasks[index]
-        if solve_fallback_reason(task) is not None:
-            schedules[index] = task.nlp.solve(task.x0)
+        reason = solve_fallback_reason(task)
+        if reason is not None:
+            _telemetry().count("solve.fallback." + reason)
+            if fallback_out is not None:
+                fallback_out[index] = reason
+            with _telemetry().span("solve.sequential"):
+                schedules[index] = task.nlp.solve(task.x0)
         else:
             concurrent.append(index)
     if len(concurrent) == 1:
         index = concurrent[0]
-        schedules[index] = tasks[index].nlp.solve(tasks[index].x0)
+        with _telemetry().span("solve.wave"):
+            schedules[index] = tasks[index].nlp.solve(tasks[index].x0)
     elif concurrent:
-        solved = _EvaluationCoordinator().run([tasks[index] for index in concurrent])
+        _telemetry().observe("solve.wave_width", float(len(concurrent)))
+        with _telemetry().span("solve.wave"):
+            solved = _EvaluationCoordinator().run([tasks[index] for index in concurrent])
         for index, schedule in zip(concurrent, solved):
             schedules[index] = schedule
 
@@ -577,14 +611,22 @@ def run_program(program: SchedulerProgram) -> StaticSchedule:
 
 
 def run_programs(programs: Sequence[SchedulerProgram],
-                 memo: Optional[SolveMemo] = None) -> List[StaticSchedule]:
+                 memo: Optional[SolveMemo] = None,
+                 *,
+                 fallback_out: Optional[List[Dict[str, int]]] = None) -> List[StaticSchedule]:
     """Drive many scheduler programs in lock-step waves.
 
     Each round advances every active program by one wave and solves the union
     of their yielded tasks through :func:`solve_tasks` — the wider the wave,
     the more problems one stacked evaluation amortises.
+
+    ``fallback_out``, when given, is rewritten to one ``{reason: count}``
+    tally per program, attributing each sequential-fallback solve to the
+    program that requested it.
     """
     programs = list(programs)
+    if fallback_out is not None:
+        fallback_out[:] = [{} for _ in programs]
     results: List[Optional[StaticSchedule]] = [None] * len(programs)
     inbox: List[Tuple[StaticSchedule, ...]] = [()] * len(programs)
     started = [False] * len(programs)
@@ -609,10 +651,18 @@ def run_programs(programs: Sequence[SchedulerProgram],
         active = still_active
         if not wave:
             break
-        solved = solve_tasks([task for _, tasks in wave for task in tasks], memo=memo)
+        wave_reasons: Optional[List[Optional[str]]] = [] if fallback_out is not None else None
+        solved = solve_tasks(
+            [task for _, tasks in wave for task in tasks], memo=memo, fallback_out=wave_reasons
+        )
         cursor = 0
         for index, tasks in wave:
             inbox[index] = tuple(solved[cursor:cursor + len(tasks)])
+            if fallback_out is not None and wave_reasons is not None:
+                for reason in wave_reasons[cursor:cursor + len(tasks)]:
+                    if reason is not None:
+                        tally = fallback_out[index]
+                        tally[reason] = tally.get(reason, 0) + 1
             cursor += len(tasks)
     return [result for result in results]
 
@@ -620,6 +670,8 @@ def run_programs(programs: Sequence[SchedulerProgram],
 def plan_expansions(
     items: Sequence[Tuple[Any, Mapping[str, Any]]],
     memo: Optional[SolveMemo] = None,
+    *,
+    fallback_out: Optional[List[Dict[str, int]]] = None,
 ) -> List[Dict[str, StaticSchedule]]:
     """Plan many ``(expansion, {name: scheduler})`` groups as one solver pool.
 
@@ -627,6 +679,10 @@ def plan_expansions(
     contributes its program, all programs advance in lock-step, and the
     result is one ``{name: schedule}`` dictionary per group — bitwise what
     per-group sequential ``schedule_expansion`` calls produce.
+
+    ``fallback_out``, when given, is rewritten to one ``{reason: count}``
+    tally per *group*, merging the tallies of every scheduler program the
+    group contributed (see :func:`run_programs`).
     """
     programs: List[SchedulerProgram] = []
     placements: List[Tuple[int, str]] = []
@@ -634,8 +690,16 @@ def plan_expansions(
         for name, scheduler in methods.items():
             programs.append(scheduler.schedule_program(expansion))
             placements.append((group, name))
-    schedules = run_programs(programs, memo=memo)
+    program_reasons: Optional[List[Dict[str, int]]] = [] if fallback_out is not None else None
+    with _telemetry().span("plan.batched"):
+        schedules = run_programs(programs, memo=memo, fallback_out=program_reasons)
     out: List[Dict[str, StaticSchedule]] = [{} for _ in items]
     for (group, name), schedule in zip(placements, schedules):
         out[group][name] = schedule
+    if fallback_out is not None and program_reasons is not None:
+        fallback_out[:] = [{} for _ in items]
+        for (group, _), tally in zip(placements, program_reasons):
+            merged = fallback_out[group]
+            for reason, count in tally.items():
+                merged[reason] = merged.get(reason, 0) + count
     return out

@@ -212,9 +212,13 @@ def comparison_result_to_dict(result: "ComparisonResult") -> Dict:
 
     Methods simulated with ``trace=True`` additionally carry their event
     stream under ``methods.<name>.events`` (absent otherwise — trace-off
-    payloads, and therefore their store hashes, are unchanged).
+    payloads, and therefore their store hashes, are unchanged).  The same
+    non-default-only rule covers ``fallback_reasons``: the key appears
+    only when a batched stage actually fell back, so the payload bytes of
+    every pre-existing (and every fully-vectorized) comparison are
+    untouched.
     """
-    return {
+    data = {
         "taskset": result.taskset_name,
         "baseline": result.baseline,
         "methods": {
@@ -222,6 +226,9 @@ def comparison_result_to_dict(result: "ComparisonResult") -> Dict:
             for method in result.outcomes
         },
     }
+    if result.fallback_reasons:
+        data["fallback_reasons"] = dict(result.fallback_reasons)
+    return data
 
 
 def sweep_result_to_dict(result: "SweepResult") -> Dict:
@@ -232,19 +239,23 @@ def sweep_result_to_dict(result: "SweepResult") -> Dict:
     counts and runs.
     """
     cfg = result.config
-    return {
-        "config": {
-            "n_tasksets": cfg.n_tasksets,
-            "n_tasks": cfg.n_tasks,
-            "bcec_wcec_ratio": cfg.bcec_wcec_ratio,
-            "target_utilization": cfg.target_utilization,
-            "n_hyperperiods": cfg.n_hyperperiods,
-            "seed": cfg.seed,
-            "policy": cfg.policy,
-            "schedulers": list(cfg.schedulers),
-            "baseline": cfg.baseline,
-            "jobs": cfg.jobs,
-        },
+    config: Dict = {
+        "n_tasksets": cfg.n_tasksets,
+        "n_tasks": cfg.n_tasks,
+        "bcec_wcec_ratio": cfg.bcec_wcec_ratio,
+        "target_utilization": cfg.target_utilization,
+        "n_hyperperiods": cfg.n_hyperperiods,
+        "seed": cfg.seed,
+        "policy": cfg.policy,
+        "schedulers": list(cfg.schedulers),
+        "baseline": cfg.baseline,
+        "jobs": cfg.jobs,
+    }
+    # Non-default-only keys keep pre-existing sweep JSON byte-stable.
+    if cfg.batched:
+        config["batched"] = True
+    data = {
+        "config": config,
         "aggregate": {
             method: {
                 "mean_energy_per_hyperperiod": result.mean_energy(method),
@@ -256,6 +267,10 @@ def sweep_result_to_dict(result: "SweepResult") -> Dict:
         "elapsed_seconds": result.elapsed_seconds,
         "results": [comparison_result_to_dict(r) for r in result.results],
     }
+    fallback_reasons = result.fallback_summary()
+    if fallback_reasons:
+        data["fallback_reasons"] = fallback_reasons
+    return data
 
 
 def partition_to_dict(partition: "Partition") -> Dict:
@@ -353,13 +368,16 @@ def scenario_result_to_dict(result: "ScenarioResult") -> Dict:
     aggregates are computed from the store's payload form and are therefore
     bitwise-stable across reruns, worker counts and warm/cold stores.
     """
-    return {
+    data = {
         "scenario": result.spec.to_dict(),
         "points": [dict(point) for point in result.points],
         "computed": result.computed,
         "skipped": result.skipped,
         "elapsed_seconds": result.elapsed_seconds,
     }
+    if result.fallback_reasons:
+        data["fallback_reasons"] = dict(result.fallback_reasons)
+    return data
 
 
 def save_json(data: Dict, path: Union[str, Path]) -> Path:

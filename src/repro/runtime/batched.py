@@ -58,6 +58,7 @@ import numpy as np
 
 from ..offline.schedule import StaticSchedule
 from ..power.processor import ProcessorModel
+from ..telemetry.core import current as _telemetry
 from ..power.transition import TransitionModel
 from ..workloads.distributions import NormalWorkload, WorkloadModel
 from .compiled import CompiledSchedule, run_compiled
@@ -148,19 +149,26 @@ def batch_fallback_reason(unit: BatchUnit) -> Optional[str]:
 
 def simulate_batch(units: Sequence[BatchUnit]) -> List[SimulationResult]:
     """Simulate every unit; bitwise-identical to running each through the compiled path."""
+    telemetry = _telemetry()
     resolved = [unit.resolved() for unit in units]
     results: List[Optional[SimulationResult]] = [None] * len(resolved)
     vectorized: List[int] = []
     for index, unit in enumerate(resolved):
-        if batch_fallback_reason(unit) is None:
+        reason = batch_fallback_reason(unit)
+        if reason is None:
             vectorized.append(index)
         else:
-            results[index] = run_compiled(unit.schedule, unit.processor, unit.policy,
-                                          unit.config, unit.workload, unit.rng)
+            telemetry.count("sim.batch_fallback." + reason)
+            with telemetry.span("sim.fallback_unit"):
+                results[index] = run_compiled(unit.schedule, unit.processor, unit.policy,
+                                              unit.config, unit.workload, unit.rng)
     if vectorized:
-        engine = _SoAEngine([resolved[index] for index in vectorized])
-        for index, result in zip(vectorized, engine.run()):
-            results[index] = result
+        telemetry.count("sim.batched_units", len(vectorized))
+        telemetry.observe("sim.soa_width", float(len(vectorized)))
+        with telemetry.span("sim.batch"):
+            engine = _SoAEngine([resolved[index] for index in vectorized])
+            for index, result in zip(vectorized, engine.run()):
+                results[index] = result
     return results  # type: ignore[return-value]
 
 
@@ -455,6 +463,9 @@ class _SoAEngine:
         keep = np.nonzero(self.active)[0]
         if keep.size == self.active.size:
             return
+        # Gauge, not per-step: compaction fires once per batch of retiring
+        # rows, so the observation cost stays off the hot loop.
+        _telemetry().observe("sim.soa_width", float(keep.size))
         if keep.size == 0:
             self.active = self.active[:0]
             return

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import copy
 import itertools
-import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field, is_dataclass, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
@@ -33,8 +32,10 @@ from ..core.taskset import TaskSet
 from ..experiments.harness import (
     ComparisonConfig,
     ComparisonJob,
+    aggregate_fallback_reasons,
     iter_comparisons,
     random_comparison_job,
+    warn_if_excessive_fallback,
 )
 from ..experiments.motivation import MotivationConfig, run_motivation
 from ..experiments.seeding import SIMULATION_STREAM
@@ -42,6 +43,7 @@ from ..power.processor import ProcessorModel
 from ..runtime.multicore import MulticoreRunner
 from ..runtime.policies import get_policy
 from ..runtime.simulator import SimulationConfig
+from ..telemetry.core import current as _telemetry
 from ..utils.tables import format_markdown_table
 from ..workloads.cnc import cnc_taskset
 from ..workloads.gap import gap_taskset
@@ -413,31 +415,62 @@ class ScenarioEngine:
         """
         if n_jobs < 1:
             raise ExperimentError("n_jobs must be at least 1")
-        started = time.perf_counter()
-        compiled = self.compile(spec)
-        labels = {key: point.label for point in compiled.points for key in point.unit_keys}
-        payloads: Dict[str, Dict[str, Any]] = {}
-        pending = []
-        for key in compiled.units:
-            payload = None if force else self.store.get(key)
-            if payload is None:
-                pending.append(key)
-            else:
+        telemetry = _telemetry()
+        # The stage timer replaces the old inline perf_counter pair: with
+        # telemetry enabled the same ns interval is recorded as a
+        # "scenario.run" span, so elapsed_seconds stays bitwise-derivable
+        # from the span row.
+        with telemetry.stage("scenario.run") as timer:
+            with telemetry.span("scenario.compile"):
+                compiled = self.compile(spec)
+            labels = {key: point.label for point in compiled.points for key in point.unit_keys}
+            payloads: Dict[str, Dict[str, Any]] = {}
+            pending = []
+            with telemetry.span("scenario.replay"):
+                for key in compiled.units:
+                    payload = None if force else self.store.get(key)
+                    if payload is None:
+                        pending.append(key)
+                    else:
+                        payloads[key] = payload
+            telemetry.count("scenario.units_computed", len(pending))
+            telemetry.count("scenario.units_replayed", len(compiled.units) - len(pending))
+            with telemetry.span("scenario.execute"):
+                self._execute_pending(compiled, pending, spec, labels, n_jobs)
+            for key in pending:
+                payload = self.store.get(key)
+                if payload is None:
+                    raise ExperimentError(f"store lost unit {key[:12]} mid-run; rerun with --force")
                 payloads[key] = payload
-        self._execute_pending(compiled, pending, spec, labels, n_jobs)
-        for key in pending:
-            payload = self.store.get(key)
-            if payload is None:
-                raise ExperimentError(f"store lost unit {key[:12]} mid-run; rerun with --force")
-            payloads[key] = payload
-        points = [self._aggregate_point(spec, point, payloads) for point in compiled.points]
+            with telemetry.span("scenario.aggregate"):
+                points = [self._aggregate_point(spec, point, payloads) for point in compiled.points]
+            fallback_reasons = self._fallback_reasons(spec, payloads)
         return ScenarioResult(
             spec=spec,
             points=points,
             computed=len(pending),
             skipped=len(compiled.units) - len(pending),
-            elapsed_seconds=time.perf_counter() - started,
+            elapsed_seconds=timer.elapsed_seconds,
+            fallback_reasons=fallback_reasons,
         )
+
+    def _fallback_reasons(
+        self, spec: ScenarioSpec, payloads: Dict[str, Dict[str, Any]]
+    ) -> Dict[str, int]:
+        """Aggregate per-unit fallback tallies (and warn when they dominate).
+
+        Payloads written before the tallies existed simply lack the key and
+        contribute nothing, so warm replays of old stores stay valid.
+        """
+        if spec.kind != "comparison":
+            return {}
+        fallback_reasons = aggregate_fallback_reasons(
+            payload.get("fallback_reasons") for payload in payloads.values()
+        )
+        total_units = sum(len(payload.get("methods", {})) for payload in payloads.values())
+        warn_if_excessive_fallback(fallback_reasons, total_units,
+                                   context=f"scenario {spec.name!r}")
+        return fallback_reasons
 
     def _execute_pending(
         self,
@@ -541,6 +574,10 @@ class ScenarioResult:
     computed: int
     skipped: int
     elapsed_seconds: float = 0.0
+    #: Merged per-unit fallback tallies of a comparison sweep's batched
+    #: stages (``"batch:<reason>"`` / ``"solve:<reason>"`` keys; empty when
+    #: nothing fell back — see :class:`~repro.experiments.harness.ComparisonResult`).
+    fallback_reasons: Dict[str, int] = field(default_factory=dict)
 
     def summary(self) -> str:
         return f"units: computed={self.computed} skipped={self.skipped}"

@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Union
 
 from ..core.errors import ReproError
+from ..telemetry.core import current as _telemetry
 
 __all__ = ["STORE_FORMAT", "StoreEntry", "ResultStore", "signature_key"]
 
@@ -75,11 +76,22 @@ class StoreEntry:
 
 
 class ResultStore:
-    """A directory of content-addressed result records."""
+    """A directory of content-addressed result records.
 
-    def __init__(self, root: Union[str, Path]):
+    ``telemetry_prefix`` names this store's counter family (default
+    ``result_store``); the solve memo's backing store uses its own
+    prefix so its traffic tallies separately.  Counter names are
+    precomputed here so the disabled telemetry path stays allocation
+    free.
+    """
+
+    def __init__(self, root: Union[str, Path], *, telemetry_prefix: str = "result_store"):
         self.root = Path(root)
         self.objects = self.root / "objects"
+        self._hit_counter = telemetry_prefix + ".hit"
+        self._miss_counter = telemetry_prefix + ".miss"
+        self._computed_counter = telemetry_prefix + ".computed"
+        self._gc_counter = telemetry_prefix + ".gc_removed"
 
     # ------------------------------------------------------------------ #
     # Addressing
@@ -94,13 +106,17 @@ class ResultStore:
         """The stored payload for ``key``, or ``None`` on a miss."""
         path = self.path_for(key)
         if not path.exists():
+            _telemetry().count(self._miss_counter)
             return None
         try:
             record = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, json.JSONDecodeError):
+            _telemetry().count(self._miss_counter)
             return None  # treat torn/unreadable records as misses; gc cleans them up
         if record.get("store_format") != STORE_FORMAT:
+            _telemetry().count(self._miss_counter)
             return None
+        _telemetry().count(self._hit_counter)
         return record.get("payload")
 
     def contains(self, key: str) -> bool:
@@ -121,6 +137,7 @@ class ResultStore:
         scratch = path.with_suffix(f".tmp-{os.getpid()}")
         scratch.write_text(json.dumps(record, sort_keys=True), encoding="utf-8")
         os.replace(scratch, path)
+        _telemetry().count(self._computed_counter)
         return path
 
     def remove(self, key: str) -> bool:
@@ -234,20 +251,29 @@ class ResultStore:
             )
             if not dry_run:
                 path.unlink()
+        if removed and not dry_run:
+            _telemetry().count(self._gc_counter, len(removed))
         return removed
 
 
 class MemoryStore:
-    """In-process stand-in used when ``repro run`` is invoked with ``--no-store``."""
+    """In-process stand-in used when ``repro run`` is invoked with ``--no-store``.
+
+    Counts the same ``result_store.*`` telemetry family as
+    :class:`ResultStore` so counter-accuracy tests can run storeless.
+    """
 
     def __init__(self):
         self._records: Dict[str, Dict[str, Any]] = {}
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
-        return self._records.get(key)
+        payload = self._records.get(key)
+        _telemetry().count("result_store.hit" if payload is not None else "result_store.miss")
+        return payload
 
     def contains(self, key: str) -> bool:
         return key in self._records
 
     def put(self, key: str, payload: Mapping[str, Any], *, scenario: str = "", label: str = "") -> None:
         self._records[key] = dict(payload)
+        _telemetry().count("result_store.computed")

@@ -1,0 +1,60 @@
+"""Pipeline telemetry: spans, counters, sinks, and run manifests.
+
+Default-off observability for the plan → simulate → store pipeline.
+Instrumentation sites resolve the active collector via
+:func:`~repro.telemetry.core.current`; the disabled path (a process-wide
+``NullTelemetry``) is proven allocation-free and bitwise-inert by
+``tests/telemetry/``.  Telemetry never enters result-store signatures.
+"""
+
+from .core import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Span,
+    Stopwatch,
+    Telemetry,
+    activate,
+    current,
+    deactivate,
+    using,
+)
+from .manifest import (
+    MANIFEST_FORMAT,
+    build_manifest,
+    config_hash,
+    manifest_path,
+    read_manifests,
+    write_manifest,
+)
+from .sinks import (
+    JsonlSink,
+    MemorySink,
+    SummarySink,
+    aggregate_spans,
+    read_jsonl,
+    render_summary,
+)
+
+__all__ = [
+    "Span",
+    "Stopwatch",
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "current",
+    "activate",
+    "deactivate",
+    "using",
+    "MemorySink",
+    "JsonlSink",
+    "SummarySink",
+    "read_jsonl",
+    "render_summary",
+    "aggregate_spans",
+    "MANIFEST_FORMAT",
+    "config_hash",
+    "build_manifest",
+    "write_manifest",
+    "manifest_path",
+    "read_manifests",
+]

@@ -1,0 +1,117 @@
+"""Run manifests: one JSON document per scenario run, next to the store.
+
+A manifest answers "what ran, from which config, at which revision, and
+where did the time go" without replaying anything: config hash, git
+revision, unit accounting, stage timings aggregated from the telemetry
+spans, and the full counter dump.  ``repro run`` writes one per scenario
+under ``<store>/manifests/`` (latest run wins), and ``repro stats``
+renders them.
+
+The config hash is a SHA-256 over the canonical-JSON scenario document —
+the same canonicalisation discipline as the result store's signature
+keys, but deliberately *separate* from them: manifests describe runs,
+they never feed back into store addressing, and telemetry state never
+enters a store signature.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+__all__ = [
+    "MANIFEST_FORMAT",
+    "config_hash",
+    "build_manifest",
+    "write_manifest",
+    "manifest_path",
+    "read_manifests",
+]
+
+MANIFEST_FORMAT = 1
+
+
+def config_hash(document: Mapping[str, Any]) -> str:
+    """SHA-256 of the canonical-JSON form of a scenario document."""
+    canonical = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def git_revision(cwd: Optional[Union[str, Path]] = None) -> str:
+    """Current ``git`` commit hash, or ``"unknown"`` outside a checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(cwd) if cwd is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    if proc.returncode != 0:
+        return "unknown"
+    return proc.stdout.strip() or "unknown"
+
+
+def build_manifest(
+    *,
+    scenario: str,
+    config: Mapping[str, Any],
+    computed: int,
+    skipped: int,
+    elapsed_seconds: float,
+    stage_timings: Optional[Mapping[str, Mapping[str, float]]] = None,
+    counters: Optional[Mapping[str, int]] = None,
+) -> Dict[str, Any]:
+    """Assemble a manifest document (plain JSON-serialisable data).
+
+    ``stage_timings``/``counters`` come from an enabled telemetry
+    collector; with telemetry off the manifest still records the config
+    hash, revision, unit accounting, and wall-clock.
+    """
+    manifest: Dict[str, Any] = {
+        "manifest_format": MANIFEST_FORMAT,
+        "scenario": scenario,
+        "config_hash": config_hash(config),
+        "git_rev": git_revision(),
+        "created_unix": time.time(),
+        "computed": computed,
+        "skipped": skipped,
+        "elapsed_seconds": elapsed_seconds,
+    }
+    if stage_timings:
+        manifest["stage_timings"] = {name: dict(row) for name, row in stage_timings.items()}
+    if counters:
+        manifest["counters"] = dict(counters)
+    return manifest
+
+
+def manifest_path(store_root: Union[str, Path], scenario: str) -> Path:
+    return Path(store_root) / "manifests" / f"{scenario}.json"
+
+
+def write_manifest(store_root: Union[str, Path], manifest: Mapping[str, Any]) -> Path:
+    """Atomically write ``<store>/manifests/<scenario>.json`` (latest wins)."""
+    target = manifest_path(store_root, str(manifest["scenario"]))
+    target.parent.mkdir(parents=True, exist_ok=True)
+    tmp = target.with_name(f".tmp-{os.getpid()}-{target.name}")
+    tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    os.replace(tmp, target)
+    return target
+
+
+def read_manifests(store_root: Union[str, Path]) -> List[Dict[str, Any]]:
+    """All manifests under a store, sorted by scenario name."""
+    directory = Path(store_root) / "manifests"
+    if not directory.is_dir():
+        return []
+    manifests = []
+    for path in sorted(directory.glob("*.json")):
+        manifests.append(json.loads(path.read_text(encoding="utf-8")))
+    return manifests

@@ -1,0 +1,151 @@
+"""Pluggable telemetry sinks.
+
+A sink receives a finished run's :meth:`Telemetry.snapshot` dictionary.
+Three implementations cover the pipeline's needs:
+
+* :class:`MemorySink` — keeps snapshots in a list; used by tests.
+* :class:`JsonlSink` — appends one JSON line per span / counter /
+  observation (plus a ``meta`` header line), so a single file can hold
+  many runs and stream-oriented tooling can tail it.  :func:`read_jsonl`
+  reconstructs the snapshots, round-tripping bitwise through
+  ``json`` (integers stay integers; ``perf_counter_ns`` values are
+  exact).
+* :class:`SummarySink` — renders the end-of-run stderr table (stage
+  timings plus counters) without touching stdout, whose byte-exact
+  report format the scenario CLI owns.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, TextIO, Union
+
+from ..utils.tables import format_markdown_table
+
+__all__ = [
+    "MemorySink",
+    "JsonlSink",
+    "SummarySink",
+    "read_jsonl",
+    "render_summary",
+]
+
+
+class MemorySink:
+    """Collects snapshots in memory (test double)."""
+
+    def __init__(self) -> None:
+        self.snapshots: List[Dict[str, Any]] = []
+
+    def emit(self, snapshot: Dict[str, Any], *, scenario: Optional[str] = None) -> None:
+        record = dict(snapshot)
+        if scenario is not None:
+            record["scenario"] = scenario
+        self.snapshots.append(record)
+
+
+class JsonlSink:
+    """Appends snapshots to a JSONL file, one record per line.
+
+    Each ``emit`` writes a ``{"type": "meta", ...}`` header followed by
+    ``span`` / ``counter`` / ``observation`` lines.  Appending (rather
+    than overwriting) lets one ``--telemetry PATH`` file accumulate a
+    multi-scenario invocation.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def emit(self, snapshot: Dict[str, Any], *, scenario: Optional[str] = None) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        lines = [json.dumps({"type": "meta", "scenario": scenario}, sort_keys=True)]
+        for span in snapshot.get("spans", []):
+            lines.append(json.dumps({"type": "span", **span}, sort_keys=True))
+        for name, value in snapshot.get("counters", {}).items():
+            lines.append(
+                json.dumps({"type": "counter", "name": name, "value": value}, sort_keys=True)
+            )
+        for name, values in snapshot.get("observations", {}).items():
+            lines.append(
+                json.dumps({"type": "observation", "name": name, "values": values}, sort_keys=True)
+            )
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a :class:`JsonlSink` file back into snapshot dictionaries.
+
+    Returns one ``{"scenario", "spans", "counters", "observations"}``
+    record per ``meta`` header encountered, in file order.
+    """
+    snapshots: List[Dict[str, Any]] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for raw in handle:
+            raw = raw.strip()
+            if not raw:
+                continue
+            record = json.loads(raw)
+            kind = record.pop("type")
+            if kind == "meta":
+                snapshots.append(
+                    {
+                        "scenario": record.get("scenario"),
+                        "spans": [],
+                        "counters": {},
+                        "observations": {},
+                    }
+                )
+            elif not snapshots:
+                raise ValueError(f"{path}: {kind!r} record before any meta header")
+            elif kind == "span":
+                snapshots[-1]["spans"].append(record)
+            elif kind == "counter":
+                snapshots[-1]["counters"][record["name"]] = record["value"]
+            elif kind == "observation":
+                snapshots[-1]["observations"][record["name"]] = record["values"]
+            else:
+                raise ValueError(f"{path}: unknown telemetry record type {kind!r}")
+    return snapshots
+
+
+def aggregate_spans(spans: List[Dict[str, Any]]) -> Dict[str, Dict[str, float]]:
+    """Aggregate span rows by name into ``{name: {count, total_seconds}}``."""
+    timings: Dict[str, Dict[str, float]] = {}
+    for span in spans:
+        row = timings.setdefault(span["name"], {"count": 0, "total_seconds": 0.0})
+        row["count"] += 1
+        row["total_seconds"] += (span["end_ns"] - span["start_ns"]) / 1e9
+    return dict(sorted(timings.items()))
+
+
+def render_summary(snapshot: Dict[str, Any], *, scenario: Optional[str] = None) -> str:
+    """Markdown tables for stage timings and counters."""
+    parts: List[str] = []
+    title = f"telemetry summary — {scenario}" if scenario else "telemetry summary"
+    parts.append(title)
+    timings = aggregate_spans(snapshot.get("spans", []))
+    if timings:
+        rows = [
+            [name, row["count"], f"{row['total_seconds']:.6f}"] for name, row in timings.items()
+        ]
+        parts.append(format_markdown_table(["stage", "spans", "total_s"], rows))
+    counters = snapshot.get("counters", {})
+    if counters:
+        rows = [[name, value] for name, value in sorted(counters.items())]
+        parts.append(format_markdown_table(["counter", "value"], rows))
+    if not timings and not counters:
+        parts.append("(no telemetry recorded)")
+    return "\n".join(parts)
+
+
+class SummarySink:
+    """Writes :func:`render_summary` to a stream (stderr by default)."""
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+
+    def emit(self, snapshot: Dict[str, Any], *, scenario: Optional[str] = None) -> None:
+        print(render_summary(snapshot, scenario=scenario), file=self.stream)

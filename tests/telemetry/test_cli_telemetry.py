@@ -1,0 +1,97 @@
+"""CLI surfaces: ``repro run --telemetry`` and ``repro stats``."""
+
+import json
+
+from repro.cli import build_parser, main
+from repro.telemetry import read_jsonl, read_manifests
+
+#: Instant scenario (deterministic, no simulation) for CLI-level round trips.
+MOTIVATION = {
+    "kind": "motivation",
+    "name": "motivation-telemetry",
+    "power": {"model": "ideal", "vmax": 5.0, "vmin": 0.5, "fmax": 1000.0},
+}
+
+
+def write_spec(tmp_path, document):
+    target = tmp_path / "scenario.json"
+    target.write_text(json.dumps(document))
+    return str(target)
+
+
+class TestParser:
+    def test_run_telemetry_flag_forms(self):
+        off = build_parser().parse_args(["run", "a.toml"])
+        assert off.telemetry is None
+        bare = build_parser().parse_args(["run", "a.toml", "--telemetry"])
+        assert bare.telemetry == ""
+        explicit = build_parser().parse_args(["run", "a.toml", "--telemetry", "t.jsonl"])
+        assert explicit.telemetry == "t.jsonl"
+
+    def test_stats_subcommand(self):
+        args = build_parser().parse_args(["stats", "/tmp/s", "--telemetry", "t.jsonl"])
+        assert args.store == "/tmp/s" and args.telemetry == "t.jsonl"
+        assert build_parser().parse_args(["stats"]).store is None
+
+
+class TestRunTelemetry:
+    def test_run_writes_manifest_jsonl_and_stderr_summary(self, capsys, tmp_path):
+        spec = write_spec(tmp_path, MOTIVATION)
+        store = tmp_path / "store"
+        assert main(["run", spec, "--store", str(store), "--telemetry"]) == 0
+        err = capsys.readouterr().err
+        assert "telemetry summary" in err and "scenario.run" in err
+        (manifest,) = read_manifests(store)
+        assert manifest["scenario"] == "motivation-telemetry"
+        assert manifest["computed"] == 1 and manifest["skipped"] == 0
+        assert manifest["stage_timings"]["scenario.run"]["count"] == 1
+        (record,) = read_jsonl(store / "telemetry" / "motivation-telemetry.jsonl")
+        assert record["scenario"] == "motivation-telemetry"
+        assert any(span["name"] == "scenario.run" for span in record["spans"])
+
+    def test_explicit_jsonl_path(self, capsys, tmp_path):
+        spec = write_spec(tmp_path, MOTIVATION)
+        target = tmp_path / "out" / "t.jsonl"
+        store = tmp_path / "store"
+        assert main(["run", spec, "--store", str(store),
+                     "--telemetry", str(target)]) == 0
+        capsys.readouterr()
+        (record,) = read_jsonl(target)
+        assert record["scenario"] == "motivation-telemetry"
+
+    def test_manifest_written_even_without_telemetry(self, capsys, tmp_path):
+        spec = write_spec(tmp_path, MOTIVATION)
+        store = tmp_path / "store"
+        assert main(["run", spec, "--store", str(store)]) == 0
+        assert capsys.readouterr().err == ""
+        (manifest,) = read_manifests(store)
+        assert manifest["scenario"] == "motivation-telemetry"
+        assert "stage_timings" not in manifest and "counters" not in manifest
+
+    def test_no_store_run_writes_no_manifest(self, capsys, tmp_path):
+        spec = write_spec(tmp_path, MOTIVATION)
+        target = tmp_path / "t.jsonl"
+        assert main(["run", spec, "--no-store", "--telemetry", str(target)]) == 0
+        capsys.readouterr()
+        assert read_jsonl(target)  # telemetry still recorded
+        assert not (tmp_path / "manifests").exists()
+
+
+class TestStats:
+    def test_renders_manifest_and_jsonl_without_rerunning(self, capsys, tmp_path):
+        spec = write_spec(tmp_path, MOTIVATION)
+        store = tmp_path / "store"
+        jsonl = tmp_path / "t.jsonl"
+        assert main(["run", spec, "--store", str(store),
+                     "--telemetry", str(jsonl)]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(store), "--telemetry", str(jsonl)]) == 0
+        out = capsys.readouterr().out
+        assert "== motivation-telemetry" in out
+        assert "computed=1" in out
+        assert "scenario.run" in out
+        assert "1 run(s)" in out
+
+    def test_empty_store_reports_no_manifests(self, capsys, tmp_path):
+        assert main(["stats", str(tmp_path)]) == 0
+        assert "no run manifests" in capsys.readouterr().out

@@ -1,0 +1,90 @@
+"""Sinks: memory capture, JSONL round-trip, and the stderr summary table."""
+
+import io
+
+import pytest
+
+from repro.telemetry import (
+    JsonlSink,
+    MemorySink,
+    SummarySink,
+    Telemetry,
+    aggregate_spans,
+    read_jsonl,
+    render_summary,
+)
+
+
+def sample_snapshot():
+    telemetry = Telemetry()
+    with telemetry.span("plan"):
+        with telemetry.span("solve"):
+            pass
+    telemetry.count("store.hit", 3)
+    telemetry.observe("wave", 2.0)
+    return telemetry.snapshot()
+
+
+class TestMemorySink:
+    def test_captures_snapshots_with_scenario_label(self):
+        sink = MemorySink()
+        sink.emit(sample_snapshot(), scenario="demo")
+        assert len(sink.snapshots) == 1
+        record = sink.snapshots[0]
+        assert record["scenario"] == "demo"
+        assert record["counters"] == {"store.hit": 3}
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        snapshot = sample_snapshot()
+        JsonlSink(path).emit(snapshot, scenario="demo")
+        records = read_jsonl(path)
+        assert len(records) == 1
+        record = records[0]
+        assert record["scenario"] == "demo"
+        assert record["counters"] == snapshot["counters"]
+        assert record["observations"] == snapshot["observations"]
+        assert [s["name"] for s in record["spans"]] == ["plan", "solve"]
+
+    def test_appends_multiple_runs(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        JsonlSink(path).emit(sample_snapshot(), scenario="first")
+        JsonlSink(path).emit(sample_snapshot(), scenario="second")
+        records = read_jsonl(path)
+        assert [record["scenario"] for record in records] == ["first", "second"]
+
+    def test_record_before_meta_is_rejected(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text('{"type": "counter", "name": "x", "value": 1}\n')
+        with pytest.raises(ValueError):
+            read_jsonl(path)
+
+
+class TestSummary:
+    def test_render_contains_span_and_counter_tables(self):
+        text = render_summary(sample_snapshot(), scenario="demo")
+        assert "demo" in text
+        assert "plan" in text and "solve" in text
+        assert "store.hit" in text and "3" in text
+
+    def test_render_empty_snapshot(self):
+        text = render_summary({"spans": [], "counters": {}, "observations": {}})
+        assert "no telemetry recorded" in text
+
+    def test_summary_sink_writes_to_stream(self):
+        stream = io.StringIO()
+        SummarySink(stream).emit(sample_snapshot(), scenario="demo")
+        assert "demo" in stream.getvalue()
+
+
+class TestAggregateSpans:
+    def test_groups_by_name(self):
+        telemetry = Telemetry()
+        for _ in range(2):
+            with telemetry.span("wave"):
+                pass
+        aggregated = aggregate_spans(telemetry.snapshot()["spans"])
+        assert aggregated["wave"]["count"] == 2
+        assert aggregated["wave"]["total_seconds"] >= 0.0

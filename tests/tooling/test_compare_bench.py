@@ -83,3 +83,55 @@ def test_threshold_boundary(tmp_path, capsys, within_threshold):
     status = run(tmp_path, {"a": 1.0}, {"a": fresh},
                  extra_args=["--threshold", "25", "--fail"])
     assert status == (0 if within_threshold else 1)
+
+
+def manifest_store(root: Path, scenario: str, stages: dict, elapsed: float) -> Path:
+    manifests = root / "manifests"
+    manifests.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "scenario": scenario,
+        "elapsed_seconds": elapsed,
+        "stage_timings": {
+            name: {"count": 1, "total_seconds": wall} for name, wall in stages.items()
+        },
+    }
+    (manifests / f"{scenario}.json").write_text(json.dumps(payload), encoding="utf-8")
+    return root
+
+
+def test_manifest_mode_localises_stage_regressions(tmp_path, capsys):
+    base = manifest_store(tmp_path / "old", "fig", {"plan.batched": 1.0, "sim.comparison": 1.0}, 2.0)
+    fresh = manifest_store(tmp_path / "new", "fig", {"plan.batched": 2.0, "sim.comparison": 1.0}, 3.0)
+    status = compare_bench.main(
+        ["--manifests", str(base), str(fresh), "--threshold", "25", "--fail"])
+    out = capsys.readouterr().out
+    assert status == 1
+    assert "! plan.batched: 1.000s -> 2.000s" in out
+    assert "  sim.comparison: 1.000s -> 1.000s" in out  # unregressed stage stays unmarked
+    assert "::warning title=stage regression::fig/plan.batched" in out
+    assert "::warning title=stage regression::fig/sim.comparison" not in out
+
+
+def test_manifest_mode_compares_the_end_to_end_elapsed(tmp_path, capsys):
+    base = manifest_store(tmp_path / "old", "fig", {}, 1.0)
+    fresh = manifest_store(tmp_path / "new", "fig", {}, 4.0)
+    status = compare_bench.main(["--manifests", str(base), str(fresh), "--fail"])
+    assert status == 1
+    assert "elapsed: 1.000s -> 4.000s" in capsys.readouterr().out
+
+
+def test_manifest_mode_without_overlap_short_circuits(tmp_path, capsys):
+    base = manifest_store(tmp_path / "old", "one", {}, 1.0)
+    fresh = manifest_store(tmp_path / "new", "two", {}, 1.0)
+    assert compare_bench.main(["--manifests", str(base), str(fresh), "--fail"]) == 0
+    assert "no overlapping scenario manifests" in capsys.readouterr().out
+
+
+def test_manifest_mode_rejects_an_extra_snapshot_argument(tmp_path):
+    with pytest.raises(SystemExit):
+        compare_bench.main(["snap.json", "--manifests", "a", "b"])
+
+
+def test_snapshot_argument_is_still_required_without_manifests():
+    with pytest.raises(SystemExit):
+        compare_bench.main([])

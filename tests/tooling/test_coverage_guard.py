@@ -50,7 +50,8 @@ def test_empty_match_is_none_not_zero(guard):
 def test_warns_below_baseline_but_exits_zero(guard, tmp_path, capsys):
     report_path = tmp_path / "coverage.json"
     report_path.write_text(json.dumps(_report(
-        {"src/repro/runtime/simulator.py": (10, 90)})))
+        {"src/repro/runtime/simulator.py": (10, 90),
+         "src/repro/telemetry/core.py": (99, 1)})))
     exit_code = guard.main([str(report_path), "--baseline", BASELINE_PATH])
     assert exit_code == 0  # non-blocking by design
     output = capsys.readouterr().out
@@ -61,22 +62,52 @@ def test_warns_below_baseline_but_exits_zero(guard, tmp_path, capsys):
 def test_silent_pass_above_baseline(guard, tmp_path, capsys):
     report_path = tmp_path / "coverage.json"
     report_path.write_text(json.dumps(_report(
-        {"src/repro/runtime/simulator.py": (99, 1)})))
+        {"src/repro/runtime/simulator.py": (99, 1),
+         "src/repro/telemetry/core.py": (99, 1)})))
     assert guard.main([str(report_path), "--baseline", BASELINE_PATH]) == 0
     output = capsys.readouterr().out
     assert "::warning::" not in output
     assert "99.00%" in output
 
 
-def test_missing_runtime_files_warn_instead_of_reporting_zero(guard, tmp_path, capsys):
+def test_missing_subsystem_files_warn_instead_of_reporting_zero(guard, tmp_path, capsys):
     report_path = tmp_path / "coverage.json"
     report_path.write_text(json.dumps(_report({"src/repro/cli.py": (5, 5)})))
     assert guard.main([str(report_path), "--baseline", BASELINE_PATH]) == 0
     assert "never imported" in capsys.readouterr().out
 
 
+def test_legacy_single_target_baseline_still_works(guard, tmp_path, capsys):
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(json.dumps(
+        {"prefix": "src/repro/runtime/", "percent": 50.0}))
+    report_path = tmp_path / "coverage.json"
+    report_path.write_text(json.dumps(_report(
+        {"src/repro/runtime/simulator.py": (99, 1)})))
+    assert guard.main([str(report_path), "--baseline", str(baseline_path)]) == 0
+    output = capsys.readouterr().out
+    assert "::warning::" not in output and "99.00%" in output
+
+
+def test_every_target_is_checked(guard, tmp_path, capsys):
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(json.dumps({"targets": [
+        {"prefix": "src/repro/runtime/", "percent": 50.0},
+        {"prefix": "src/repro/telemetry/", "percent": 50.0},
+    ]}))
+    report_path = tmp_path / "coverage.json"
+    report_path.write_text(json.dumps(_report(
+        {"src/repro/runtime/simulator.py": (99, 1),
+         "src/repro/telemetry/core.py": (10, 90)})))
+    assert guard.main([str(report_path), "--baseline", str(baseline_path)]) == 0
+    output = capsys.readouterr().out
+    assert "src/repro/runtime/ at 99.00%" in output
+    assert "below the merge baseline" in output  # the telemetry target fires
+
+
 def test_committed_baseline_shape():
     with open(BASELINE_PATH) as handle:
         baseline = json.load(handle)
-    assert baseline["prefix"] == "src/repro/runtime/"
-    assert 0.0 < baseline["percent"] <= 100.0
+    prefixes = {target["prefix"] for target in baseline["targets"]}
+    assert {"src/repro/runtime/", "src/repro/telemetry/"} <= prefixes
+    assert all(0.0 < target["percent"] <= 100.0 for target in baseline["targets"])

@@ -1,10 +1,12 @@
 #!/usr/bin/env python
-"""Non-blocking coverage floor for the simulation runtime.
+"""Non-blocking coverage floor for the watched subsystems.
 
 Reads a ``coverage.py`` JSON report (``coverage json`` / ``pytest --cov
---cov-report=json``), aggregates line coverage over every file under the
-watched prefix (default ``src/repro/runtime/``) and compares it against the
-committed baseline in ``tools/runtime_coverage_baseline.json``.
+--cov-report=json``), aggregates line coverage over every file under each
+watched prefix and compares it against the committed baseline in
+``tools/runtime_coverage_baseline.json``.  The baseline is either the legacy
+single-target form (``{"prefix": ..., "percent": ...}``) or a list:
+``{"targets": [{"prefix": ..., "percent": ...}, ...]}``.
 
 A drop below the baseline emits a GitHub ``::warning::`` annotation and the
 script still exits 0 — coverage is a trend signal here, not a merge gate
@@ -67,20 +69,25 @@ def main(argv=None) -> int:
     with open(args.baseline) as handle:
         baseline = json.load(handle)
 
-    prefix = baseline.get("prefix", "src/repro/runtime/")
-    floor = float(baseline["percent"])
-    percent = runtime_coverage(report, prefix)
-    if percent is None:
-        print(f"::warning::coverage guard: no files under {prefix!r} in the "
-              f"report — the runtime was never imported?")
-        return 0
-    line = (f"coverage guard: {prefix} at {percent:.2f}% line coverage "
-            f"(baseline {floor:.2f}%)")
-    if percent < floor:
-        print(f"::warning::{line} — below the merge baseline; see "
-              f"tools/runtime_coverage_baseline.json before raising or lowering it")
-    else:
-        print(line)
+    targets = baseline.get("targets")
+    if targets is None:  # legacy single-target baseline
+        targets = [{"prefix": baseline.get("prefix", "src/repro/runtime/"),
+                    "percent": baseline["percent"]}]
+    for target in targets:
+        prefix = target["prefix"]
+        floor = float(target["percent"])
+        percent = runtime_coverage(report, prefix)
+        if percent is None:
+            print(f"::warning::coverage guard: no files under {prefix!r} in the "
+                  f"report — that subsystem was never imported?")
+            continue
+        line = (f"coverage guard: {prefix} at {percent:.2f}% line coverage "
+                f"(baseline {floor:.2f}%)")
+        if percent < floor:
+            print(f"::warning::{line} — below the merge baseline; see "
+                  f"tools/runtime_coverage_baseline.json before raising or lowering it")
+        else:
+            print(line)
     return 0
 
 
