@@ -34,7 +34,16 @@ and the declarative scenario runner (see ``docs/scenarios.md``):
 * ``stats``     — render the stage timings, counters and fallback tallies of
   past runs from the stored manifests (and optionally a telemetry JSONL)
   without re-running anything;
-* ``store``     — inspect (``ls``) or garbage-collect (``gc``) the store.
+* ``store``     — inspect (``ls``) or garbage-collect (``gc``) the store;
+
+and the sweep service (see the "Sweep service" section of
+``docs/architecture.md``):
+
+* ``serve``     — run the sharded, deduplicating experiment server over one
+  result store (``--workers N``, ``--unit-timeout S``, ``--retries N``);
+  SIGTERM drains in-flight requests before exit;
+* ``submit``    — send a scenario file to a running server and stream its
+  per-unit progress; the final table is identical to a local ``run``.
 
 Use ``--full`` for the paper-scale sample sizes (slow) and ``--quick`` for a
 smoke-test-sized run.
@@ -43,8 +52,10 @@ smoke-test-sized run.
 from __future__ import annotations
 
 import argparse
+import hashlib
 import os
 import sys
+import warnings
 from datetime import datetime, timezone
 from pathlib import Path
 from typing import List, Optional
@@ -240,6 +251,39 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--telemetry", default=None, metavar="PATH",
                        help="also aggregate spans/counters from this telemetry JSONL dump")
     stats.set_defaults(runner=_run_stats)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the sweep server: one shared store, dedup, sharded workers")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 = ephemeral; the bound address is printed)")
+    serve.add_argument("--store", default=None, metavar="DIR",
+                       help=f"result store directory (default: $REPRO_STORE or {DEFAULT_STORE_DIR})")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent unit computations (worker processes)")
+    serve.add_argument("--unit-timeout", type=float, default=None, metavar="S",
+                       help="wall-clock bound per unit attempt; on expiry the "
+                            "worker is killed and the unit retried")
+    serve.add_argument("--retries", type=int, default=2,
+                       help="additional attempts after a retryable unit failure "
+                            "(worker death, timeout)")
+    serve.add_argument("--backoff", type=float, default=0.5, metavar="S",
+                       help="initial retry backoff, doubling per attempt")
+    serve.set_defaults(runner=_run_serve)
+
+    submit = subparsers.add_parser(
+        "submit",
+        help="submit a scenario file to a running sweep server")
+    submit.add_argument("spec", metavar="SPEC",
+                        help="scenario file (TOML/JSON); sent unvalidated, the "
+                             "server applies the usual loader rules")
+    submit.add_argument("--profile", default=None,
+                        help="named override profile declared in the spec (e.g. 'smoke')")
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, required=True,
+                        help="port of the running server (see its startup line)")
+    submit.set_defaults(runner=_run_submit)
 
     store = subparsers.add_parser(
         "store",
@@ -524,6 +568,108 @@ def _run_scalability(args: argparse.Namespace) -> str:
     return f"{report}\n\nwall-clock: {result.elapsed_seconds:.2f}s (jobs={config.jobs})"
 
 
+def _run_serve(args: argparse.Namespace) -> str:
+    import asyncio
+    import signal
+
+    from .scenarios import ResultStore
+    from .server import SweepServer
+
+    if args.workers < 1:
+        raise ExperimentError(f"--workers must be at least 1, got {args.workers}")
+    if args.retries < 0:
+        raise ExperimentError(f"--retries must be at least 0, got {args.retries}")
+    store = ResultStore(_resolve_store_dir(args.store))
+    server = SweepServer(store, workers=args.workers, unit_timeout=args.unit_timeout,
+                         retries=args.retries, backoff=args.backoff)
+
+    async def serve() -> None:
+        host, port = await server.start(args.host, args.port)
+        # The startup line is the machine-readable contract scripts (and the
+        # CI serve job) parse for the ephemeral port — printed eagerly, the
+        # runner's return value only appears after the drain.
+        print(f"serving on {host}:{port} (store: {store.root})", flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
+        await stop.wait()
+        print("draining in-flight requests...", file=sys.stderr, flush=True)
+        await server.drain()
+
+    asyncio.run(serve())
+    counters = server.telemetry.snapshot()["counters"]
+    return (f"drained cleanly: {counters.get('serve.requests', 0)} request(s), "
+            f"{counters.get('serve.units.computed', 0)} unit(s) computed "
+            f"(store: {store.root})")
+
+
+def _run_submit(args: argparse.Namespace) -> str:
+    from .scenarios.loader import ScenarioLoader
+    from .server import client
+
+    document = ScenarioLoader().read_document(args.spec)
+    if "name" not in document:
+        # Same fallback a local run applies: an unnamed scenario is named
+        # after its file stem (the server never sees the filename).
+        document = {**document, "name": Path(args.spec).stem}
+    final = None
+    try:
+        for event in client.submit(document, host=args.host, port=args.port,
+                                   profile=args.profile):
+            kind = event.get("event")
+            if kind == "accepted":
+                print(f"accepted: {event['scenario']} — {event['units']} unit(s), "
+                      f"{event['points']} point(s)", file=sys.stderr, flush=True)
+            elif kind == "unit":
+                attempts = event.get("attempts", 0)
+                suffix = f" after {attempts} attempt(s)" if attempts > 1 else ""
+                print(f"unit {event['key'][:12]} [{event['label']}]: "
+                      f"{event['status']}{suffix}", file=sys.stderr, flush=True)
+            elif kind == "error":
+                print(f"server error: {event.get('message')}", file=sys.stderr, flush=True)
+            elif kind == "result":
+                final = event
+    except OSError as error:
+        raise ExperimentError(
+            f"cannot reach sweep server at {args.host}:{args.port}: {error}") from None
+    if final is None:
+        raise ExperimentError(
+            f"server at {args.host}:{args.port} closed the stream without a result")
+    if final["status"] != "ok":
+        raise ExperimentError(f"{final['failed']} unit(s) failed permanently on the server")
+    summary = (f"units: computed={final['computed']} deduped={final['deduped']} "
+               f"coalesced={final['coalesced']}")
+    return "\n".join([final["markdown"], "", summary])
+
+
+def _telemetry_jsonl_path(store_dir: Optional[str], name: str, spec_path: str,
+                          seen: dict) -> Path:
+    """Derived ``--telemetry`` JSONL path for one spec, collision-safe.
+
+    The default ``<store>/telemetry/<scenario>.jsonl`` is ambiguous when two
+    spec files in different directories share a scenario name: the second
+    would silently append to (and pollute) the first's dump.  The first file
+    to claim a name keeps the pretty path; later *distinct* spec files get a
+    ``-<hash-of-path>`` suffix and a warning.
+    """
+    base = Path(store_dir or ".") / "telemetry"
+    resolved = str(Path(spec_path).resolve())
+    default = base / f"{name}.jsonl"
+    claimed = seen.setdefault(default, resolved)
+    if claimed == resolved:
+        return default
+    digest = hashlib.sha256(resolved.encode("utf-8")).hexdigest()[:8]
+    unique = base / f"{name}-{digest}.jsonl"
+    warnings.warn(
+        f"telemetry for {spec_path} would collide with {default} (already "
+        f"written for {claimed}); writing {unique} instead — pass "
+        f"--telemetry PATH to choose the destination",
+        RuntimeWarning, stacklevel=2)
+    seen.setdefault(unique, resolved)
+    return unique
+
+
 def _run_scenarios(args: argparse.Namespace) -> str:
     from .reporting.serialization import save_json, scenario_result_to_dict
     from .scenarios import ResultStore, ScenarioEngine, load_scenario
@@ -544,6 +690,7 @@ def _run_scenarios(args: argparse.Namespace) -> str:
     engine = ScenarioEngine(ResultStore(store_dir) if store_dir else None)
     telemetry_arg = getattr(args, "telemetry", None)
     telemetry_enabled = telemetry_arg is not None
+    claimed_jsonl: dict = {}
     sections: List[str] = []
     for path in args.specs:
         spec = load_scenario(path, profile=args.profile)
@@ -560,7 +707,7 @@ def _run_scenarios(args: argparse.Namespace) -> str:
             if telemetry_arg:
                 jsonl_path = Path(telemetry_arg)
             else:
-                jsonl_path = Path(store_dir or ".") / "telemetry" / f"{spec.name}.jsonl"
+                jsonl_path = _telemetry_jsonl_path(store_dir, spec.name, path, claimed_jsonl)
             JsonlSink(jsonl_path).emit(snapshot, scenario=spec.name)
             SummarySink().emit(snapshot, scenario=spec.name)
         else:

@@ -21,7 +21,7 @@ import copy
 import itertools
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field, is_dataclass, replace
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -51,8 +51,14 @@ from ..workloads.random_tasksets import RandomTaskSetConfig
 from .spec import ScenarioError, ScenarioSpec, TasksetSpec, _set_dotted
 from .store import STORE_FORMAT, MemoryStore, ResultStore, signature_key
 
-__all__ = ["AUTO_BATCH_THRESHOLD", "ScenarioEngine", "ScenarioResult",
-           "CompiledPoint", "CompiledScenario"]
+__all__ = [
+    "AUTO_BATCH_THRESHOLD",
+    "ScenarioEngine",
+    "ScenarioResult",
+    "CompiledPoint",
+    "CompiledScenario",
+    "run_unit",
+]
 
 #: ``simulation.engine = "auto"`` crossover: sweeps with at least this many
 #: simulation work units (jobs x scheduler methods) run on the batched SoA
@@ -201,6 +207,30 @@ def _run_motivation_unit(unit: _MotivationUnit) -> Dict[str, Any]:
 
 _Unit = Union[ComparisonJob, _MulticoreUnit, _MotivationUnit]
 
+
+def run_unit(unit: _Unit, solve_memo_root: Optional[str] = None) -> Dict[str, Any]:
+    """Execute one compiled work unit to its serialised payload form.
+
+    This is the unit-level entry point shared by every execution path: the
+    batch runner uses it for the serial multicore/motivation cases, and the
+    sweep server's worker processes call nothing else — a unit computed by a
+    server shard is byte-for-byte the payload a ``repro run`` of the same
+    spec would have stored.  ``solve_memo_root`` (a store directory, as a
+    picklable string) routes comparison planning through the shared
+    persistent solve memo.  Module-level so process pools can pickle it.
+    """
+    if isinstance(unit, ComparisonJob):
+        from ..reporting.serialization import comparison_result_to_dict
+
+        (result,) = iter_comparisons([unit], n_jobs=1, solve_memo_root=solve_memo_root)
+        return comparison_result_to_dict(result)
+    if isinstance(unit, _MulticoreUnit):
+        return _run_multicore_unit(unit)
+    if isinstance(unit, _MotivationUnit):
+        return _run_motivation_unit(unit)
+    raise ExperimentError(f"unknown work-unit type {type(unit).__name__}")
+
+
 #: One expanded matrix cell: axis indices, axis values, and the resolved point spec.
 _ExpandedPoint = Tuple[Tuple[int, ...], Dict[str, Any], ScenarioSpec]
 
@@ -269,6 +299,22 @@ class ScenarioEngine:
         if spec.kind == "multicore":
             return self._compile_multicore(spec)
         return self._compile_motivation(spec)
+
+    @staticmethod
+    def unit_labels(compiled: CompiledScenario) -> Dict[str, str]:
+        """``{unit key: point label}`` over every unit of a compiled scenario."""
+        return {key: point.label for point in compiled.points for key in point.unit_keys}
+
+    def iter_units(self, compiled: CompiledScenario) -> Iterator[Tuple[str, _Unit, str]]:
+        """Yield ``(key, unit, label)`` for every work unit of a compiled scenario.
+
+        This is the unit-level view the sweep server schedules from: each
+        tuple is independently executable via :func:`run_unit` and
+        independently persistable under ``key``.
+        """
+        labels = self.unit_labels(compiled)
+        for key, unit in compiled.units.items():
+            yield key, unit, labels[key]
 
     def _expand_matrix(self, spec: ScenarioSpec) -> List["_ExpandedPoint"]:
         base = spec.to_dict()
@@ -423,7 +469,7 @@ class ScenarioEngine:
         with telemetry.stage("scenario.run") as timer:
             with telemetry.span("scenario.compile"):
                 compiled = self.compile(spec)
-            labels = {key: point.label for point in compiled.points for key in point.unit_keys}
+            labels = self.unit_labels(compiled)
             payloads: Dict[str, Dict[str, Any]] = {}
             pending = []
             with telemetry.span("scenario.replay"):
@@ -443,7 +489,7 @@ class ScenarioEngine:
                     raise ExperimentError(f"store lost unit {key[:12]} mid-run; rerun with --force")
                 payloads[key] = payload
             with telemetry.span("scenario.aggregate"):
-                points = [self._aggregate_point(spec, point, payloads) for point in compiled.points]
+                points = self.aggregate(compiled, payloads)
             fallback_reasons = self._fallback_reasons(spec, payloads)
         return ScenarioResult(
             spec=spec,
@@ -503,7 +549,7 @@ class ScenarioEngine:
         if multicore_keys:
             units = [compiled.units[key] for key in multicore_keys]
             if n_jobs == 1 or len(units) <= 1:
-                payload_stream = (_run_multicore_unit(unit) for unit in units)
+                payload_stream = (run_unit(unit) for unit in units)
                 for key, payload in zip(multicore_keys, payload_stream):
                     self.store.put(key, payload, scenario=spec.name, label=labels[key])
             else:
@@ -513,11 +559,23 @@ class ScenarioEngine:
         for key in pending:
             unit = compiled.units[key]
             if isinstance(unit, _MotivationUnit):
-                self.store.put(key, _run_motivation_unit(unit), scenario=spec.name, label=labels[key])
+                self.store.put(key, run_unit(unit), scenario=spec.name, label=labels[key])
 
     # ------------------------------------------------------------------ #
     # Aggregation (always from the serialised payload form)
     # ------------------------------------------------------------------ #
+    def aggregate(
+        self, compiled: CompiledScenario, payloads: Dict[str, Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        """Aggregate per-unit payloads into the scenario's point rows.
+
+        ``payloads`` must cover every unit key of ``compiled``; because
+        aggregation always reads the serialised payload form, it does not
+        matter whether a payload was computed here, replayed from the store,
+        or streamed back from a sweep server — the rows are bitwise-identical.
+        """
+        return [self._aggregate_point(compiled.spec, point, payloads) for point in compiled.points]
+
     def _aggregate_point(
         self,
         spec: ScenarioSpec,

@@ -60,8 +60,13 @@ def _deep_merge(base: Dict[str, Any], override: Mapping[str, Any]) -> Dict[str, 
 class ScenarioLoader:
     """Parses, profile-merges and validates scenario documents."""
 
-    def load(self, path: Union[str, Path], profile: Optional[str] = None) -> ScenarioSpec:
-        """Load a ``.toml`` or ``.json`` scenario file, optionally under a profile."""
+    def read_document(self, path: Union[str, Path]) -> Dict[str, Any]:
+        """Parse a ``.toml``/``.json`` scenario file to its raw document.
+
+        No profile merging, no validation — this is the pre-merge table a
+        sweep-server client ships in a ``/submit`` body, so the server
+        validates with exactly the rules a local ``load`` would apply.
+        """
         source = Path(path)
         if not source.exists():
             raise ScenarioError(f"scenario file {source} does not exist")
@@ -83,6 +88,14 @@ class ScenarioLoader:
                 raise ScenarioError(f"{source}: invalid JSON: {error}") from None
         else:
             raise ScenarioError(f"unsupported scenario extension {suffix!r} (expected .toml or .json)")
+        if not isinstance(document, dict):
+            raise ScenarioError(f"{source}: a scenario document must be a table")
+        return document
+
+    def load(self, path: Union[str, Path], profile: Optional[str] = None) -> ScenarioSpec:
+        """Load a ``.toml`` or ``.json`` scenario file, optionally under a profile."""
+        source = Path(path)
+        document = self.read_document(source)
         try:
             spec = self.from_document(document, profile=profile)
         except ScenarioError as error:
@@ -110,15 +123,7 @@ class ScenarioLoader:
 
     def profiles(self, path: Union[str, Path]) -> tuple:
         """The profile names a scenario file declares (without applying any)."""
-        source = Path(path)
-        if source.suffix.lower() == ".toml":
-            if tomllib is None:  # pragma: no cover - Python 3.10 fallback
-                raise ScenarioError("TOML scenario files need Python >= 3.11 (tomllib)")
-            with source.open("rb") as handle:
-                document = tomllib.load(handle)
-        else:
-            document = json.loads(source.read_text(encoding="utf-8"))
-        return tuple(sorted(document.get("profiles", {})))
+        return tuple(sorted(self.read_document(path).get("profiles", {})))
 
     @staticmethod
     def dumps(spec: ScenarioSpec) -> str:

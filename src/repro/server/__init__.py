@@ -1,0 +1,36 @@
+"""Sweep-as-a-service: a sharded, deduplicating experiment server.
+
+``repro serve`` exposes the scenario pipeline over a tiny HTTP/NDJSON
+protocol so many concurrent clients can share one content-addressed result
+store.  Work units are deduplicated three ways (completed-on-disk,
+in-flight coalescing, solver-level memoisation), sharded across isolated
+worker processes with per-unit timeouts and bounded retries, and drained
+cleanly on SIGTERM.  See ``docs/architecture.md`` ("Sweep service").
+"""
+
+from .app import SweepServer, UnitOutcome
+from .client import health, stats, submit
+from .pool import InlineUnitExecutor, ProcessUnitExecutor, UnitFailure
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    ServerRequestError,
+    decode_event,
+    encode_event,
+)
+
+__all__ = [
+    "SweepServer",
+    "UnitOutcome",
+    "submit",
+    "stats",
+    "health",
+    "ProcessUnitExecutor",
+    "InlineUnitExecutor",
+    "UnitFailure",
+    "ProtocolError",
+    "ServerRequestError",
+    "PROTOCOL_VERSION",
+    "encode_event",
+    "decode_event",
+]

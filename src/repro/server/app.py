@@ -1,0 +1,414 @@
+"""The sweep server: shared store, three dedup layers, kill-tolerant shards.
+
+``repro serve`` turns the scenario pipeline into traffic-serving
+infrastructure: many concurrent clients submit scenario documents, the
+server compiles each through the one shared :class:`ScenarioEngine`, and
+every work unit passes three deduplication layers before any CPU is spent:
+
+1. **completed-on-disk** — the content-addressed :class:`ResultStore` hash
+   (a unit any past run computed is replayed, never recomputed);
+2. **in-flight** — a unit-signature registry mapping keys to pending
+   futures, so N requests racing on the same unit coalesce onto one
+   computation and all stream its result;
+3. **solver-level** — worker processes share the persistent
+   :class:`~repro.offline.batched_solver.SolveMemo` under the store root,
+   so even *distinct* units whose NLP solves coincide pay once.
+
+What survives dedup is sharded across a bounded pool of worker processes
+(:class:`~repro.server.pool.ProcessUnitExecutor`), each attempt isolated
+so a worker killed mid-unit is retried with exponential backoff instead of
+failing the request.  Requests stream per-unit NDJSON progress events, the
+server's telemetry counters (``serve.requests``, ``serve.units.*``) are
+exported at ``GET /stats``, and SIGTERM drains in-flight requests before
+exit — a warm store is never left with orphaned work (and every advisory
+claim is released).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ..scenarios.engine import ScenarioEngine, ScenarioResult
+from ..scenarios.loader import ScenarioLoader
+from ..scenarios.spec import ScenarioError
+from ..scenarios.store import ResultStore
+from ..telemetry.core import Telemetry
+from .pool import ProcessUnitExecutor, UnitFailure
+from .protocol import (
+    PROTOCOL_VERSION,
+    REASONS,
+    ProtocolError,
+    encode_event,
+    error_event,
+    parse_submit_body,
+)
+
+__all__ = ["SweepServer", "UnitOutcome"]
+
+#: Upper bound on request bodies; scenario documents are tiny, so anything
+#: bigger is a client bug (or not a client at all).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+#: Seconds a connection may take to deliver its request before the server
+#: gives up on it (a stalled client must not be able to wedge a drain).
+REQUEST_READ_TIMEOUT = 30.0
+
+
+@dataclass(frozen=True)
+class UnitOutcome:
+    """How one request obtained one unit payload."""
+
+    payload: Dict[str, Any]
+    source: str  # "computed" | "deduped" | "coalesced"
+    attempts: int
+
+
+def _json_response(code: int, document: Dict[str, Any]) -> bytes:
+    body = encode_event(document)
+    head = (
+        f"HTTP/1.1 {code} {REASONS.get(code, 'Error')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+_STREAM_HEAD = (
+    b"HTTP/1.1 200 OK\r\n"
+    b"Content-Type: application/x-ndjson\r\n"
+    b"Cache-Control: no-store\r\n"
+    b"Connection: close\r\n\r\n"
+)
+
+
+async def _read_request(reader: asyncio.StreamReader) -> Tuple[str, str, Dict[str, str], bytes]:
+    """Parse one HTTP/1.1 request → ``(method, target, headers, body)``."""
+    request_line = await reader.readline()
+    if not request_line:
+        raise ConnectionError("client closed before sending a request")
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise ProtocolError(400, f"malformed request line {request_line[:80]!r}")
+    method, target, _version = parts
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError:
+        raise ProtocolError(400, "Content-Length is not an integer") from None
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise ProtocolError(413, f"request body of {length} bytes exceeds {MAX_BODY_BYTES}")
+    body = await reader.readexactly(length) if length else b""
+    return method.upper(), target, headers, body
+
+
+class SweepServer:
+    """Asyncio sweep server over one result store.
+
+    ``workers`` bounds concurrent unit computations (the shard width);
+    ``retries`` is the number of *additional* attempts after a retryable
+    failure, with exponential backoff starting at ``backoff`` seconds.
+    ``executor`` defaults to a fresh :class:`ProcessUnitExecutor` honouring
+    ``unit_timeout``; tests inject :class:`InlineUnitExecutor` doubles.
+    """
+
+    def __init__(
+        self,
+        store,
+        *,
+        workers: int = 2,
+        unit_timeout: Optional[float] = None,
+        retries: int = 2,
+        backoff: float = 0.5,
+        executor=None,
+        telemetry: Optional[Telemetry] = None,
+    ):
+        self.store = store
+        self.engine = ScenarioEngine(store)
+        self.loader = ScenarioLoader()
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.executor = executor if executor is not None else ProcessUnitExecutor(unit_timeout=unit_timeout)
+        self.workers = max(1, int(workers))
+        self.retries = max(0, int(retries))
+        self.backoff = backoff
+        self.solve_memo_root = str(store.root) if isinstance(store, ResultStore) else None
+        self.registry: Dict[str, asyncio.Future] = {}
+        self.draining = False
+        self.address: Optional[Tuple[str, int]] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._semaphore: Optional[asyncio.Semaphore] = None
+        self._active = 0
+        self._idle: Optional[asyncio.Event] = None
+        self._next_request = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
+        """Bind and start accepting; returns the (host, port) actually bound."""
+        self._semaphore = asyncio.Semaphore(self.workers)
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._server = await asyncio.start_server(self._handle_connection, host, port)
+        sockname = self._server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        return self.address
+
+    async def drain(self) -> None:
+        """Stop accepting, let in-flight requests finish, release everything.
+
+        This is the SIGTERM path: after ``drain()`` returns, the registry is
+        empty, every claim is released, and no ``.tmp-*`` scratch file is in
+        flight — the store is warm and clean for the next process.
+        """
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._idle is not None:
+            await self._idle.wait()
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._active += 1
+        self._idle.clear()
+        try:
+            await self._dispatch(reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError, asyncio.TimeoutError):
+            pass  # a vanished or stalled client takes only its own request down
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._active -= 1
+            if self._active == 0:
+                self._idle.set()
+
+    async def _dispatch(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            method, target, _headers, body = await asyncio.wait_for(
+                _read_request(reader),
+                REQUEST_READ_TIMEOUT,
+            )
+        except ProtocolError as error:
+            writer.write(_json_response(error.code, error.to_event()))
+            await writer.drain()
+            return
+        if method == "GET" and target == "/healthz":
+            writer.write(_json_response(200, {"event": "health", "status": "ok"}))
+        elif method == "GET" and target == "/stats":
+            writer.write(_json_response(200, self._stats()))
+        elif target == "/submit" and method != "POST":
+            writer.write(_json_response(405, error_event(405, "submit requires POST")))
+        elif target == "/submit":
+            await self._handle_submit(body, writer)
+        else:
+            writer.write(_json_response(404, error_event(404, f"unknown path {target!r}")))
+        await writer.drain()
+
+    def _stats(self) -> Dict[str, Any]:
+        snapshot = self.telemetry.snapshot()
+        return {
+            "event": "stats",
+            "protocol": PROTOCOL_VERSION,
+            "counters": snapshot["counters"],
+            "inflight": len(self.registry),
+            "draining": self.draining,
+            "store": str(getattr(self.store, "root", "(memory)")),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    async def _handle_submit(self, body: bytes, writer: asyncio.StreamWriter) -> None:
+        lock = asyncio.Lock()
+        started = False
+
+        async def emit(record: Dict[str, Any]) -> None:
+            nonlocal started
+            async with lock:
+                if not started:
+                    writer.write(_STREAM_HEAD)
+                    started = True
+                writer.write(encode_event(record))
+                await writer.drain()
+
+        try:
+            try:
+                document, profile = parse_submit_body(body)
+            except ProtocolError:
+                # A body we cannot even parse still counts as (rejected) traffic.
+                self.telemetry.count("serve.requests")
+                self.telemetry.count("serve.requests.rejected")
+                raise
+            await self.submit_document(document, profile=profile, emit=emit)
+        except ProtocolError as error:
+            # Rejected before anything was scheduled: zero units, zero claims.
+            writer.write(_json_response(error.code, error.to_event()))
+            await writer.drain()
+
+    async def submit_document(
+        self,
+        document: Dict[str, Any],
+        *,
+        profile: Optional[str] = None,
+        emit=None,
+    ) -> Dict[str, Any]:
+        """Run one submission end to end; returns the final ``result`` event.
+
+        ``emit`` (an async callable) receives every streamed event in order;
+        the HTTP handler passes the connection writer, tests pass a recorder
+        or nothing.  Raises :class:`ProtocolError` for submissions rejected
+        before any unit is scheduled (invalid scenario, draining server).
+        """
+        if self._semaphore is None:
+            # Direct (non-HTTP) submissions may arrive before start().
+            self._semaphore = asyncio.Semaphore(self.workers)
+        self.telemetry.count("serve.requests")
+        try:
+            if self.draining:
+                raise ProtocolError(503, "server is draining; resubmit to its successor")
+            try:
+                spec = self.loader.from_document(document, profile=profile)
+                compiled = self.engine.compile(spec)
+            except ScenarioError as error:
+                raise ProtocolError(400, f"invalid scenario: {error}") from None
+        except ProtocolError:
+            self.telemetry.count("serve.requests.rejected")
+            raise
+
+        if emit is None:
+            async def emit(record: Dict[str, Any]) -> None:  # noqa: ARG001
+                return None
+
+        self._next_request += 1
+        request_id = self._next_request
+        labels = self.engine.unit_labels(compiled)
+        accepted = {
+            "event": "accepted",
+            "protocol": PROTOCOL_VERSION,
+            "request_id": request_id,
+            "scenario": spec.name,
+            "units": len(compiled.units),
+            "points": len(compiled.points),
+        }
+        await emit(accepted)
+
+        async def resolve(key: str, unit: Any) -> Tuple[str, UnitOutcome]:
+            outcome = await self._resolve_unit(key, unit, spec.name, labels[key])
+            event = {
+                "event": "unit",
+                "key": key,
+                "label": labels[key],
+                "status": outcome.source,
+                "attempts": outcome.attempts,
+            }
+            await emit(event)
+            return key, outcome
+
+        settled = await asyncio.gather(
+            *(resolve(key, unit) for key, unit in compiled.units.items()),
+            return_exceptions=True,
+        )
+        payloads: Dict[str, Dict[str, Any]] = {}
+        tally = {"computed": 0, "deduped": 0, "coalesced": 0}
+        failures = []
+        for item in settled:
+            if isinstance(item, BaseException):
+                failures.append(item)
+                continue
+            key, outcome = item
+            payloads[key] = outcome.payload
+            tally[outcome.source] += 1
+        if failures:
+            for failure in failures:
+                await emit(error_event(500, f"unit failed permanently: {failure}"))
+            final = {
+                "event": "result",
+                "request_id": request_id,
+                "scenario": spec.name,
+                "status": "failed",
+                "failed": len(failures),
+                **tally,
+            }
+            await emit(final)
+            return final
+        result = ScenarioResult(
+            spec=spec,
+            points=self.engine.aggregate(compiled, payloads),
+            computed=tally["computed"],
+            skipped=tally["deduped"] + tally["coalesced"],
+        )
+        final = {
+            "event": "result",
+            "request_id": request_id,
+            "scenario": spec.name,
+            "status": "ok",
+            "failed": 0,
+            **tally,
+            "points": result.points,
+            "markdown": result.to_markdown(),
+        }
+        await emit(final)
+        return final
+
+    # ------------------------------------------------------------------ #
+    # The three dedup layers
+    # ------------------------------------------------------------------ #
+    async def _resolve_unit(self, key: str, unit: Any, scenario: str, label: str) -> UnitOutcome:
+        pending = self.registry.get(key)
+        if pending is not None:
+            # Layer 2: someone is already computing this signature — ride along.
+            self.telemetry.count("serve.units.inflight_coalesced")
+            payload = await asyncio.shield(pending)
+            return UnitOutcome(payload=payload, source="coalesced", attempts=0)
+        payload = self.store.get(key)
+        if payload is not None:
+            # Layer 1: any past run (server or batch) already paid for this.
+            self.telemetry.count("serve.units.deduped")
+            return UnitOutcome(payload=payload, source="deduped", attempts=0)
+        future = asyncio.get_running_loop().create_future()
+        self.registry[key] = future
+        try:
+            async with self._semaphore:
+                self.store.claim(key, owner=f"serve:{os.getpid()}")
+                try:
+                    payload, attempts = await self._compute_with_retry(key, unit)
+                    self.store.put(key, payload, scenario=scenario, label=label)
+                    self.telemetry.count("serve.units.computed")
+                finally:
+                    self.store.release(key)
+            future.set_result(payload)
+            return UnitOutcome(payload=payload, source="computed", attempts=attempts)
+        except BaseException as error:
+            future.set_exception(error)
+            future.exception()  # mark retrieved even when nobody coalesced
+            raise
+        finally:
+            self.registry.pop(key, None)
+
+    async def _compute_with_retry(self, key: str, unit: Any) -> Tuple[Dict[str, Any], int]:
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                payload = await asyncio.to_thread(self.executor.run, key, unit, self.solve_memo_root)
+                return payload, attempts
+            except UnitFailure as failure:
+                if not failure.retryable or attempts > self.retries:
+                    raise
+                self.telemetry.count("serve.units.retried")
+                await asyncio.sleep(self.backoff * (2 ** (attempts - 1)))

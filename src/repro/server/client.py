@@ -1,0 +1,124 @@
+"""Blocking stdlib client for the sweep server.
+
+``submit`` is a generator over the server's NDJSON event stream, so CLI
+and test callers can render per-unit progress as it happens; ``stats`` and
+``health`` are one-shot JSON GETs.  Structured server rejections (4xx/5xx
+with an ``error`` event body) surface as :class:`ServerRequestError` —
+callers never have to parse raw HTTP.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
+
+from ..core.errors import ReproError
+from .protocol import ServerRequestError, decode_event
+
+__all__ = ["submit", "stats", "health"]
+
+
+def _http_request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: Optional[bytes] = None,
+    timeout: Optional[float] = None,
+) -> Tuple[int, Dict[str, str], Any]:
+    """Issue one HTTP/1.1 request → ``(status, headers, buffered reader)``.
+
+    The reader is the socket's file object positioned at the response body;
+    the caller owns closing it (closing it closes the socket).
+    """
+    sock = socket.create_connection((host, port), timeout=timeout)
+    try:
+        payload = body or b""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        sock.sendall(head.encode("latin-1") + payload)
+        reader = sock.makefile("rb")
+    except BaseException:
+        sock.close()
+        raise
+    sock.close()  # the file object keeps the underlying connection alive
+    try:
+        status_line = reader.readline().decode("latin-1")
+        parts = status_line.split(None, 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+            raise ReproError(f"malformed response from {host}:{port}: {status_line!r}")
+        status = int(parts[1])
+        headers: Dict[str, str] = {}
+        while True:
+            line = reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+    except BaseException:
+        reader.close()
+        raise
+    return status, headers, reader
+
+
+def _read_error(reader, headers: Mapping[str, str]) -> Dict[str, Any]:
+    length = int(headers.get("content-length", "0") or "0")
+    raw = reader.read(length) if length else reader.read()
+    try:
+        return decode_event(raw.strip() or b'{"event": "error"}')
+    except Exception:
+        return {"event": "error", "code": 500, "message": raw.decode("utf-8", "replace")}
+
+
+def submit(
+    document: Mapping[str, Any],
+    *,
+    host: str,
+    port: int,
+    profile: Optional[str] = None,
+    timeout: Optional[float] = None,
+) -> Iterator[Dict[str, Any]]:
+    """Submit a scenario document; yield decoded events as the server emits them.
+
+    Raises :class:`ServerRequestError` on a non-200 response (malformed or
+    invalid submissions — in which case the server scheduled zero units).
+    """
+    body = json.dumps({"document": dict(document), "profile": profile}).encode("utf-8")
+    status, headers, reader = _http_request(host, port, "POST", "/submit", body, timeout=timeout)
+    try:
+        if status != 200:
+            raise ServerRequestError(_read_error(reader, headers))
+        for line in reader:
+            line = line.strip()
+            if line:
+                yield decode_event(line)
+    finally:
+        reader.close()
+
+
+def _get_json(host: str, port: int, path: str, timeout: Optional[float] = None) -> Dict[str, Any]:
+    status, headers, reader = _http_request(host, port, "GET", path, timeout=timeout)
+    try:
+        if status != 200:
+            raise ServerRequestError(_read_error(reader, headers))
+        length = int(headers.get("content-length", "0") or "0")
+        raw = reader.read(length) if length else reader.read()
+        return decode_event(raw.strip())
+    finally:
+        reader.close()
+
+
+def stats(host: str, port: int, timeout: Optional[float] = None) -> Dict[str, Any]:
+    """The server's ``/stats`` snapshot: counters, in-flight units, drain flag."""
+    return _get_json(host, port, "/stats", timeout=timeout)
+
+
+def health(host: str, port: int, timeout: Optional[float] = None) -> Dict[str, Any]:
+    """The server's ``/healthz`` response (raises unless it answers 200)."""
+    return _get_json(host, port, "/healthz", timeout=timeout)

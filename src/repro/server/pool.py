@@ -1,0 +1,153 @@
+"""Unit executors: where the sweep server actually computes a work unit.
+
+The server's scheduler (:mod:`repro.server.app`) is executor-agnostic; an
+executor exposes one blocking call::
+
+    run(key, unit, solve_memo_root) -> payload dict
+
+* :class:`ProcessUnitExecutor` — the production path.  Every attempt runs
+  in a **fresh worker process** talking back over a pipe, so a worker that
+  dies mid-unit (OOM kill, segfault, an operator's ``kill -9``) surfaces as
+  a retryable :class:`UnitFailure` instead of poisoning a shared pool, and
+  a per-unit wall-clock timeout can hard-kill a runaway solve without
+  leaking the slot.  Deterministic units make retry trivially safe: a
+  re-run of the same unit produces the same bytes.
+* :class:`InlineUnitExecutor` — in-process execution for tests and
+  debugging; no isolation, no kill-tolerance, but the identical contract.
+
+Fault injection (CI and the failure-mode tests) goes through
+``REPRO_SERVE_FAULT_HOOK`` — a ``module:callable`` resolved *inside* the
+worker process and called with the unit key before execution; see
+:mod:`repro.server.testing` for the shipped hooks.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+import os
+from typing import Any, Callable, Dict, Optional
+
+from ..core.errors import ReproError
+from ..scenarios.engine import run_unit
+
+__all__ = [
+    "UnitFailure",
+    "ProcessUnitExecutor",
+    "InlineUnitExecutor",
+    "resolve_fault_hook",
+]
+
+#: Environment variable naming a ``module:callable`` fault hook (test/CI only).
+FAULT_HOOK_ENV = "REPRO_SERVE_FAULT_HOOK"
+
+
+class UnitFailure(ReproError):
+    """One failed execution attempt of a work unit.
+
+    ``retryable`` distinguishes infrastructure failures (worker death,
+    timeout — a retry can succeed) from deterministic computation errors
+    (the same exception would recur, so the scheduler fails fast).
+    """
+
+    def __init__(self, message: str, *, retryable: bool):
+        super().__init__(message)
+        self.retryable = retryable
+
+
+def resolve_fault_hook(spec: Optional[str]) -> Optional[Callable[[str], None]]:
+    """Import a ``module:callable`` hook spec (``None``/empty → no hook)."""
+    if not spec:
+        return None
+    module_name, _, attribute = spec.partition(":")
+    if not module_name or not attribute:
+        raise ReproError(f"fault hook {spec!r} must be 'module:callable'")
+    module = importlib.import_module(module_name)
+    return getattr(module, attribute)
+
+
+def _worker_main(
+    connection,
+    key: str,
+    unit: Any,
+    solve_memo_root: Optional[str],
+    fault_hook: Optional[str],
+) -> None:
+    """Worker-process entry: compute one unit, ship the payload back."""
+    try:
+        hook = resolve_fault_hook(fault_hook)
+        if hook is not None:
+            hook(key)
+        payload = run_unit(unit, solve_memo_root=solve_memo_root)
+    except BaseException as error:  # noqa: BLE001 - everything must cross the pipe
+        try:
+            connection.send(("error", f"{type(error).__name__}: {error}"))
+        finally:
+            connection.close()
+        return
+    connection.send(("ok", payload))
+    connection.close()
+
+
+class ProcessUnitExecutor:
+    """One fresh process per execution attempt, with a hard timeout.
+
+    ``unit_timeout`` (seconds, ``None`` = unlimited) bounds a single
+    attempt; on expiry the worker is SIGKILLed and the attempt raises a
+    retryable :class:`UnitFailure`.  A worker that exits without delivering
+    a payload (killed, crashed) is likewise retryable; an exception raised
+    *inside* the computation is not — it is deterministic and would simply
+    recur.
+    """
+
+    def __init__(self, *, unit_timeout: Optional[float] = None, fault_hook: Optional[str] = None):
+        self.unit_timeout = unit_timeout
+        self.fault_hook = fault_hook if fault_hook is not None else os.environ.get(FAULT_HOOK_ENV)
+        self._context = multiprocessing.get_context()
+
+    def run(self, key: str, unit: Any, solve_memo_root: Optional[str] = None) -> Dict[str, Any]:
+        parent_end, child_end = self._context.Pipe(duplex=False)
+        process = self._context.Process(
+            target=_worker_main,
+            args=(child_end, key, unit, solve_memo_root, self.fault_hook),
+            daemon=True,
+        )
+        process.start()
+        child_end.close()
+        try:
+            if not parent_end.poll(self.unit_timeout):
+                process.kill()
+                process.join()
+                raise UnitFailure(f"unit {key[:12]} timed out after {self.unit_timeout:g}s", retryable=True)
+            try:
+                status, value = parent_end.recv()
+            except EOFError:
+                process.join()
+                raise UnitFailure(
+                    f"worker for unit {key[:12]} died without a result "
+                    f"(exit code {process.exitcode})",
+                    retryable=True,
+                ) from None
+        finally:
+            parent_end.close()
+        process.join()
+        if status == "error":
+            raise UnitFailure(f"unit {key[:12]} failed: {value}", retryable=False)
+        return value
+
+
+class InlineUnitExecutor:
+    """Run units in-process (tests/debugging); same contract, no isolation."""
+
+    def __init__(self, *, hook: Optional[Callable[[str], None]] = None):
+        self.hook = hook
+
+    def run(self, key: str, unit: Any, solve_memo_root: Optional[str] = None) -> Dict[str, Any]:
+        if self.hook is not None:
+            self.hook(key)
+        try:
+            return run_unit(unit, solve_memo_root=solve_memo_root)
+        except UnitFailure:
+            raise
+        except Exception as error:
+            raise UnitFailure(f"unit {key[:12]} failed: {error}", retryable=False) from error

@@ -1,0 +1,125 @@
+"""Wire protocol of the sweep server: line-delimited JSON events over HTTP/1.1.
+
+The server speaks a deliberately tiny, stdlib-parsable dialect:
+
+* Requests are plain HTTP/1.1 with JSON bodies.  ``POST /submit`` carries
+  ``{"document": <scenario document>, "profile": <name or null>}`` — the
+  *raw* scenario document (the parsed TOML/JSON table, before profile
+  merging), so validation happens exactly once, server-side, with the same
+  :class:`~repro.scenarios.loader.ScenarioLoader` rules a local ``repro
+  run`` applies.
+* Successful submissions stream ``application/x-ndjson``: one JSON object
+  per line, each tagged with an ``"event"`` kind (``accepted``, ``unit``,
+  ``result``), terminated by connection close.
+* Failures are structured: a 4xx/5xx status whose JSON body carries
+  ``{"event": "error", "code": ..., "message": ...}`` — never a bare string,
+  never a half-scheduled sweep (a spec that fails validation schedules zero
+  units).
+
+Everything here is shared by the asyncio server (:mod:`repro.server.app`)
+and the blocking client (:mod:`repro.server.client`).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..core.errors import ReproError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServerRequestError",
+    "encode_event",
+    "decode_event",
+    "error_event",
+    "parse_submit_body",
+]
+
+#: Version of the request/event contract; servers echo it in ``accepted``
+#: events so clients can detect a mismatch before trusting the stream.
+PROTOCOL_VERSION = 1
+
+#: HTTP reason phrases for the handful of statuses the server emits.
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ProtocolError(ReproError):
+    """A request the server rejects before scheduling any work.
+
+    ``code`` is the HTTP-style status the response carries (400 for
+    malformed or unvalidatable input, 413 for oversized bodies, 503 while
+    draining); ``errors`` optionally itemises field-level problems.
+    """
+
+    def __init__(self, code: int, message: str, errors: Tuple[str, ...] = ()):
+        super().__init__(message)
+        self.code = code
+        self.errors = tuple(errors)
+
+    def to_event(self) -> Dict[str, Any]:
+        return error_event(self.code, str(self), errors=self.errors)
+
+
+class ServerRequestError(ReproError):
+    """Client-side view of a structured server error response."""
+
+    def __init__(self, event: Mapping[str, Any]):
+        code = event.get("code", 500)
+        message = event.get("message", "server error")
+        super().__init__(f"server rejected the request ({code}): {message}")
+        self.code = code
+        self.event = dict(event)
+
+
+def encode_event(record: Mapping[str, Any]) -> bytes:
+    """One NDJSON line: canonical-ish JSON (sorted keys) plus the newline."""
+    return (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode_event(line: bytes) -> Dict[str, Any]:
+    record = json.loads(line.decode("utf-8"))
+    if not isinstance(record, dict) or "event" not in record:
+        raise ProtocolError(500, f"malformed event line: {line[:120]!r}")
+    return record
+
+
+def error_event(code: int, message: str, errors: Tuple[str, ...] = ()) -> Dict[str, Any]:
+    event: Dict[str, Any] = {"event": "error", "code": code, "message": message}
+    if errors:
+        event["errors"] = list(errors)
+    return event
+
+
+def parse_submit_body(body: bytes) -> Tuple[Dict[str, Any], Optional[str]]:
+    """Validate the shape of a ``/submit`` body → ``(document, profile)``.
+
+    Only the *envelope* is checked here; the scenario document itself goes
+    through :class:`~repro.scenarios.loader.ScenarioLoader`, whose
+    ``ScenarioError`` the server maps onto a 400 response.
+    """
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(400, f"request body is not valid JSON: {error}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(400, f"request body must be a JSON object, got {type(payload).__name__}")
+    unknown = sorted(set(payload) - {"document", "profile"})
+    if unknown:
+        raise ProtocolError(400, f"unknown request fields {unknown}", errors=tuple(unknown))
+    document = payload.get("document")
+    if not isinstance(document, dict):
+        raise ProtocolError(400, "request needs a 'document' object (the parsed scenario file)")
+    profile = payload.get("profile")
+    if profile is not None and not isinstance(profile, str):
+        raise ProtocolError(400, f"'profile' must be a string or null, got {type(profile).__name__}")
+    return document, profile

@@ -1,0 +1,51 @@
+"""Deterministic fault injectors for the server's worker pool (test/CI only).
+
+A hook is selected with ``REPRO_SERVE_FAULT_HOOK=module:callable`` (see
+:mod:`repro.server.pool`) and runs *inside the worker process* right before
+the unit executes — so a kill here is a genuine worker death mid-unit, not
+a simulation of one.  Sentinel files under ``REPRO_SERVE_FAULT_DIR`` make
+each fault fire exactly once per unit key: the first attempt dies, the
+retry finds the sentinel and computes normally.  That determinism is what
+lets CI gate on "killed worker → retried → bitwise-identical results"
+without racing a ``kill -9`` against scheduler timing.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from pathlib import Path
+
+from ..core.errors import ReproError
+
+__all__ = ["kill_first_attempt", "stall_first_attempt"]
+
+#: Sentinel directory recording which (hook, key) pairs already fired.
+FAULT_DIR_ENV = "REPRO_SERVE_FAULT_DIR"
+
+
+def _first_attempt(key: str, kind: str) -> bool:
+    root = os.environ.get(FAULT_DIR_ENV)
+    if not root:
+        raise ReproError(f"fault hooks need {FAULT_DIR_ENV} to point at a scratch directory")
+    directory = Path(root)
+    directory.mkdir(parents=True, exist_ok=True)
+    sentinel = directory / f"{kind}-{key}"
+    try:
+        sentinel.touch(exist_ok=False)
+    except FileExistsError:
+        return False
+    return True
+
+
+def kill_first_attempt(key: str) -> None:
+    """SIGKILL the worker on the first attempt at each unit (retry survives)."""
+    if _first_attempt(key, "kill"):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def stall_first_attempt(key: str) -> None:
+    """Hang the first attempt at each unit long enough to trip any sane timeout."""
+    if _first_attempt(key, "stall"):
+        time.sleep(300.0)

@@ -1,0 +1,86 @@
+"""Advisory in-flight claims: exclusive-create, release, and gc of orphans."""
+
+import json
+import os
+
+from repro.scenarios import ClaimRecord, MemoryStore, ResultStore
+
+
+class TestResultStoreClaims:
+    def test_claim_is_exclusive_create(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.claim("k1", owner="serve:1") is True
+        assert store.claim("k1", owner="serve:2") is False  # second claimant loses
+        assert store.claim("k2") is True  # other keys unaffected
+
+    def test_release_and_reclaim(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.claim("k1") is True
+        assert store.release("k1") is True
+        assert store.release("k1") is False  # already released: no-op
+        assert store.claim("k1") is True  # the key is claimable again
+
+    def test_claims_lists_records_with_metadata(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.claim("k1", owner="serve:a")
+        store.claim("k2", owner="serve:b")
+        claims = store.claims()
+        assert [claim.key for claim in claims] == ["k1", "k2"]
+        assert all(isinstance(claim, ClaimRecord) for claim in claims)
+        assert claims[0].owner == "serve:a" and claims[0].pid == os.getpid()
+        assert claims[0].created > 0
+
+    def test_claims_are_advisory_only(self, tmp_path):
+        """A claim never blocks get/put — correctness rests on atomic writes."""
+        store = ResultStore(tmp_path)
+        store.claim("deadbeef")
+        assert store.get("deadbeef") is None
+        store.put("deadbeef", {"x": 1})
+        assert store.get("deadbeef") == {"x": 1}
+
+    def test_unreadable_claim_files_are_skipped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.claim("k1")
+        (store.claims_dir / "torn.json").write_text("{not json")
+        assert [claim.key for claim in store.claims()] == ["k1"]
+
+    def test_gc_collects_orphaned_claims(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.claim("orphan")
+        removed = store.gc(remove_all=True)
+        assert any(entry.label == "(orphaned claim)" for entry in removed)
+        assert store.claims() == []
+
+    def test_gc_older_than_keeps_fresh_claims(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.claim("fresh")
+        removed = store.gc(older_than_days=1.0)
+        assert removed == []
+        assert [claim.key for claim in store.claims()] == ["fresh"]
+
+    def test_gc_dry_run_reports_without_deleting(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.claim("orphan")
+        removed = store.gc(remove_all=True, dry_run=True)
+        assert any(entry.label == "(orphaned claim)" for entry in removed)
+        assert [claim.key for claim in store.claims()] == ["orphan"]
+
+    def test_claim_record_is_json_on_disk(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.claim("k1", owner="serve:x")
+        record = json.loads(store.claim_path("k1").read_text())
+        assert record["key"] == "k1" and record["owner"] == "serve:x"
+
+
+class TestMemoryStoreClaims:
+    """The in-process stand-in honours the same claim contract."""
+
+    def test_parity_with_result_store(self):
+        store = MemoryStore()
+        assert store.claim("k1", owner="serve:a") is True
+        assert store.claim("k1") is False
+        assert [claim.key for claim in store.claims()] == ["k1"]
+        assert store.claims()[0].owner == "serve:a"
+        assert store.release("k1") is True
+        assert store.release("k1") is False
+        assert store.claims() == []

@@ -1,0 +1,163 @@
+"""CLI surfaces: ``repro serve`` and ``repro submit``."""
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.cli import build_parser, main
+from repro.scenarios import ResultStore
+from repro.server import InlineUnitExecutor, SweepServer
+
+MOTIVATION = {
+    "kind": "motivation",
+    "name": "motivation-cli-serve",
+    "power": {"model": "ideal", "vmax": 5.0, "vmin": 0.5, "fmax": 1000.0},
+}
+
+SRC_ROOT = str(Path(repro.__file__).resolve().parents[1])
+
+
+def write_spec(tmp_path, document, name="scenario.json"):
+    target = tmp_path / name
+    target.write_text(json.dumps(document))
+    return str(target)
+
+
+class TestParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1" and args.port == 0
+        assert args.workers == 2 and args.retries == 2
+        assert args.unit_timeout is None and args.store is None
+
+    def test_serve_knobs(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "8123", "--workers", "8",
+             "--unit-timeout", "30", "--retries", "0", "--backoff", "0.1"])
+        assert args.port == 8123 and args.workers == 8
+        assert args.unit_timeout == 30.0 and args.retries == 0
+
+    def test_submit_requires_port(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "spec.toml"])
+        args = build_parser().parse_args(
+            ["submit", "spec.toml", "--port", "8123", "--profile", "smoke"])
+        assert args.port == 8123 and args.profile == "smoke"
+
+    def test_serve_rejects_bad_workers(self, capsys):
+        assert main(["serve", "--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+
+class ServerInThread:
+    """Run a SweepServer on a private event loop for blocking-CLI tests."""
+
+    def __init__(self, store):
+        self.server = SweepServer(store, executor=InlineUnitExecutor())
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(target=self._spin, daemon=True)
+
+    def _spin(self):
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_forever()
+
+    def __enter__(self):
+        self.thread.start()
+        future = asyncio.run_coroutine_threadsafe(self.server.start(), self.loop)
+        self.host, self.port = future.result(timeout=10)
+        return self
+
+    def __exit__(self, *exc_info):
+        asyncio.run_coroutine_threadsafe(self.server.drain(), self.loop).result(timeout=10)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=10)
+        self.loop.close()
+
+
+class TestSubmitCommand:
+    def test_submit_round_trip(self, capsys, tmp_path):
+        spec = write_spec(tmp_path, MOTIVATION)
+        with ServerInThread(ResultStore(tmp_path / "store")) as running:
+            assert main(["submit", spec, "--port", str(running.port)]) == 0
+        captured = capsys.readouterr()
+        assert "| scenario " in captured.out
+        assert "computed=1" in captured.out
+        assert "accepted: motivation-cli-serve" in captured.err
+
+    def test_submit_matches_local_run_bitwise(self, capsys, tmp_path):
+        spec = write_spec(tmp_path, MOTIVATION)
+        assert main(["run", spec, "--store", str(tmp_path / "local-store")]) == 0
+        local_table = capsys.readouterr().out
+        with ServerInThread(ResultStore(tmp_path / "serve-store")) as running:
+            assert main(["submit", spec, "--port", str(running.port)]) == 0
+        served_table = capsys.readouterr().out
+        # the markdown table is identical; only the harness framing differs
+        local_rows = [line for line in local_table.splitlines() if line.startswith("|")]
+        served_rows = [line for line in served_table.splitlines() if line.startswith("|")]
+        assert local_rows == served_rows
+
+    def test_submit_surfaces_server_rejection(self, capsys, tmp_path):
+        spec = write_spec(tmp_path, {"kind": "nope", "name": "bad"})
+        with ServerInThread(ResultStore(tmp_path / "store")) as running:
+            assert main(["submit", spec, "--port", str(running.port)]) == 2
+        assert "server rejected the request (400)" in capsys.readouterr().err
+
+    def test_submit_reports_unreachable_server(self, capsys, tmp_path):
+        spec = write_spec(tmp_path, MOTIVATION)
+        with ServerInThread(ResultStore(tmp_path / "store")) as running:
+            port = running.port
+        # the context manager drained the server: the port is now dead
+        assert main(["submit", spec, "--port", str(port)]) == 2
+        assert "cannot reach sweep server" in capsys.readouterr().err
+
+
+class TestServeProcess:
+    """The real daemon: subprocess, SIGTERM, clean drain (the CI gate's twin)."""
+
+    def test_sigterm_drains_and_exits_zero(self, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_ROOT + os.pathsep + env.get("PYTHONPATH", "")
+        store_dir = tmp_path / "store"
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--port", "0", "--store", str(store_dir)],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env)
+        try:
+            line = process.stdout.readline()
+            assert line.startswith("serving on 127.0.0.1:")
+            port = int(line.split(":", 1)[1].split()[0])
+
+            from repro.server import client
+            deadline = time.monotonic() + 10
+            while True:
+                try:
+                    assert client.health("127.0.0.1", port)["status"] == "ok"
+                    break
+                except OSError:  # pragma: no cover - startup race
+                    if time.monotonic() > deadline:
+                        raise
+                    time.sleep(0.1)
+            final = list(client.submit(MOTIVATION, host="127.0.0.1", port=port))[-1]
+            assert final["status"] == "ok" and final["computed"] == 1
+
+            process.send_signal(signal.SIGTERM)
+            stdout, stderr = process.communicate(timeout=30)
+        finally:
+            if process.poll() is None:  # pragma: no cover - cleanup on failure
+                process.kill()
+                process.communicate()
+        assert process.returncode == 0, stderr
+        assert "drained cleanly: 1 request(s), 1 unit(s) computed" in stdout
+        assert "draining in-flight requests" in stderr
+        store = ResultStore(store_dir)
+        assert len(store.entries()) == 1
+        assert store.claims() == [] and list(store._scratch_paths()) == []

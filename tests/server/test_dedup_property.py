@@ -1,0 +1,75 @@
+"""Property: N concurrent overlapping submissions never compute a key twice.
+
+Hypothesis draws arbitrary overlapping batches of scenario submissions
+(overlap = identical ``motivation.wcec`` → identical unit signature) and
+races them through one server.  Whatever the interleaving, every distinct
+signature must be computed exactly once and the dedup counters must
+account for every unit of every request.
+"""
+
+import asyncio
+import threading
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenarios import MemoryStore
+from repro.server import InlineUnitExecutor, SweepServer
+
+#: The signature-distinguishing axis: the cycle counts feed the motivation
+#: unit's signature, so equal values collide (dedupable) and distinct
+#: values don't.  All three keep the 20 ms frame schedulable (3 tasks
+#: need 3·wcec <= 20000 cycles at fmax).
+WCEC_POOL = (3000.0, 4500.0, 6000.0)
+
+
+def document(wcec):
+    return {
+        "kind": "motivation",
+        "name": "motivation-dedup",
+        "power": {"model": "ideal", "vmax": 5.0, "vmin": 0.5, "fmax": 1000.0},
+        "motivation": {"wcec": wcec, "acec": wcec / 2, "bcec": wcec / 4},
+    }
+
+
+class CountingExecutor(InlineUnitExecutor):
+    """Counts executions per key (thread-safe: units run via to_thread)."""
+
+    def __init__(self):
+        super().__init__()
+        self._lock = threading.Lock()
+        self.executions = Counter()
+
+    def run(self, key, unit, solve_memo_root=None):
+        with self._lock:
+            self.executions[key] += 1
+        return super().run(key, unit, solve_memo_root)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.sampled_from(WCEC_POOL), min_size=2, max_size=6))
+def test_no_signature_is_ever_computed_twice(wcecs):
+    executor = CountingExecutor()
+    server = SweepServer(MemoryStore(), executor=executor, workers=4)
+
+    async def race():
+        return await asyncio.gather(*(
+            server.submit_document(document(wcec)) for wcec in wcecs))
+
+    finals = asyncio.run(race())
+
+    assert all(final["status"] == "ok" for final in finals)
+    # the heart of the contract: one execution per distinct signature
+    assert all(count == 1 for count in executor.executions.values())
+    assert len(executor.executions) == len(set(wcecs))
+
+    counters = server.telemetry.snapshot()["counters"]
+    total_units = sum(
+        final["computed"] + final["deduped"] + final["coalesced"] for final in finals)
+    shared = counters.get("serve.units.deduped", 0) \
+        + counters.get("serve.units.inflight_coalesced", 0)
+    assert counters["serve.units.computed"] == len(set(wcecs))
+    assert counters["serve.units.computed"] + shared == total_units == len(wcecs)
+    assert counters["serve.requests"] == len(wcecs)
+    assert server.registry == {}

@@ -1,0 +1,79 @@
+"""Wire-protocol units: event encoding and submit-envelope validation."""
+
+import json
+
+import pytest
+
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    ServerRequestError,
+    decode_event,
+    encode_event,
+    error_event,
+    parse_submit_body,
+)
+
+
+class TestEvents:
+    def test_encode_decode_round_trip(self):
+        record = {"event": "unit", "key": "abc", "attempts": 2}
+        line = encode_event(record)
+        assert line.endswith(b"\n")
+        assert decode_event(line.strip()) == record
+
+    def test_encoding_is_canonical(self):
+        a = encode_event({"b": 1, "a": 2, "event": "x"})
+        b = encode_event({"event": "x", "a": 2, "b": 1})
+        assert a == b
+
+    def test_decode_rejects_untagged_records(self):
+        with pytest.raises(ProtocolError):
+            decode_event(b'{"no_event_field": 1}')
+        with pytest.raises(ProtocolError):
+            decode_event(b'[1, 2]')
+
+    def test_error_event_shape(self):
+        event = error_event(400, "nope", errors=("field",))
+        assert event == {"event": "error", "code": 400, "message": "nope",
+                         "errors": ["field"]}
+        assert "errors" not in error_event(500, "boom")
+
+    def test_protocol_error_round_trips_through_event(self):
+        error = ProtocolError(413, "too big", errors=("body",))
+        event = error.to_event()
+        assert event["code"] == 413 and event["errors"] == ["body"]
+        client_side = ServerRequestError(event)
+        assert client_side.code == 413
+        assert "too big" in str(client_side)
+
+    def test_protocol_version_is_stable(self):
+        assert PROTOCOL_VERSION == 1
+
+
+class TestParseSubmitBody:
+    def body(self, **payload):
+        return json.dumps(payload).encode("utf-8")
+
+    def test_accepts_document_and_profile(self):
+        document, profile = parse_submit_body(
+            self.body(document={"kind": "motivation"}, profile="smoke"))
+        assert document == {"kind": "motivation"} and profile == "smoke"
+
+    def test_profile_defaults_to_none(self):
+        _, profile = parse_submit_body(self.body(document={}))
+        assert profile is None
+
+    @pytest.mark.parametrize("raw, fragment", [
+        (b"not json", "not valid JSON"),
+        (b"[1]", "JSON object"),
+        (b'{"profile": "smoke"}', "'document'"),
+        (b'{"document": "a string"}', "'document'"),
+        (b'{"document": {}, "profile": 3}', "'profile'"),
+        (b'{"document": {}, "extra": 1}', "unknown request fields"),
+    ])
+    def test_rejections_are_structured_400s(self, raw, fragment):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_submit_body(raw)
+        assert excinfo.value.code == 400
+        assert fragment in str(excinfo.value)

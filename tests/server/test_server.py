@@ -1,0 +1,226 @@
+"""End-to-end sweep-server behaviour over real HTTP connections.
+
+Each test spins the asyncio server on an ephemeral port and drives it with
+the blocking client from a worker thread (``asyncio.to_thread``), exactly
+like a real out-of-process client would.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.scenarios import MemoryStore, ResultStore, ScenarioEngine, load_scenario
+from repro.server import (
+    InlineUnitExecutor,
+    ServerRequestError,
+    SweepServer,
+    client,
+)
+
+#: Instant deterministic scenario: one unit, no simulation, no NLP solve.
+MOTIVATION = {
+    "kind": "motivation",
+    "name": "motivation-serve",
+    "power": {"model": "ideal", "vmax": 5.0, "vmin": 0.5, "fmax": 1000.0},
+}
+
+
+async def start_server(store, **kwargs):
+    kwargs.setdefault("executor", InlineUnitExecutor())
+    server = SweepServer(store, **kwargs)
+    await server.start("127.0.0.1", 0)
+    return server
+
+
+class TestEndpoints:
+    def test_healthz_and_stats(self, tmp_path):
+        async def scenario():
+            server = await start_server(ResultStore(tmp_path / "store"))
+            host, port = server.address
+            alive = await asyncio.to_thread(client.health, host, port)
+            snapshot = await asyncio.to_thread(client.stats, host, port)
+            await server.drain()
+            return alive, snapshot
+
+        alive, snapshot = asyncio.run(scenario())
+        assert alive["status"] == "ok"
+        assert snapshot["event"] == "stats"
+        assert snapshot["inflight"] == 0 and snapshot["draining"] is False
+
+    @pytest.mark.parametrize("method, path, code", [
+        ("GET", "/nope", 404),
+        ("GET", "/submit", 405),
+    ])
+    def test_unknown_routes_are_structured_errors(self, tmp_path, method, path, code):
+        async def scenario():
+            server = await start_server(ResultStore(tmp_path / "store"))
+            host, port = server.address
+            try:
+                with pytest.raises(ServerRequestError) as excinfo:
+                    await asyncio.to_thread(client._get_json, host, port, path)
+                return excinfo.value.code
+            finally:
+                await server.drain()
+
+        # the 405 needs a GET to /submit, which _get_json conveniently issues
+        assert asyncio.run(scenario()) == code
+
+
+class TestSubmit:
+    def test_streams_accepted_unit_result_in_order(self, tmp_path):
+        async def scenario():
+            server = await start_server(ResultStore(tmp_path / "store"))
+            host, port = server.address
+            events = await asyncio.to_thread(
+                lambda: list(client.submit(MOTIVATION, host=host, port=port)))
+            await server.drain()
+            return events
+
+        events = asyncio.run(scenario())
+        assert [event["event"] for event in events] == ["accepted", "unit", "result"]
+        accepted, unit, result = events
+        assert accepted["scenario"] == "motivation-serve" and accepted["units"] == 1
+        assert unit["status"] == "computed" and unit["attempts"] == 1
+        assert result["status"] == "ok" and result["computed"] == 1
+        assert "| scenario " in result["markdown"]
+
+    def test_second_submission_dedupes_from_the_store(self, tmp_path):
+        async def scenario():
+            server = await start_server(ResultStore(tmp_path / "store"))
+            host, port = server.address
+            first = await asyncio.to_thread(
+                lambda: list(client.submit(MOTIVATION, host=host, port=port)))
+            second = await asyncio.to_thread(
+                lambda: list(client.submit(MOTIVATION, host=host, port=port)))
+            await server.drain()
+            return first[-1], second[-1], server
+
+        first, second, server = asyncio.run(scenario())
+        assert first["computed"] == 1 and second["computed"] == 0
+        assert second["deduped"] == 1
+        assert first["points"] == second["points"]  # replay is bitwise-identical
+        counters = server.telemetry.snapshot()["counters"]
+        assert counters["serve.units.computed"] == 1
+        assert counters["serve.units.deduped"] == 1
+
+    def test_batch_run_results_are_shared_with_the_server(self, tmp_path):
+        """A unit a local ``repro run`` computed is never recomputed by serve."""
+        store = ResultStore(tmp_path / "store")
+        spec_path = tmp_path / "moti.json"
+        spec_path.write_text(json.dumps(MOTIVATION))
+        local = ScenarioEngine(store).run(load_scenario(spec_path))
+        assert local.computed == 1
+
+        async def scenario():
+            server = await start_server(store)
+            host, port = server.address
+            events = await asyncio.to_thread(
+                lambda: list(client.submit(MOTIVATION, host=host, port=port)))
+            await server.drain()
+            return events[-1]
+
+        result = asyncio.run(scenario())
+        assert result["computed"] == 0 and result["deduped"] == 1
+        assert result["points"] == local.points
+
+    def test_concurrent_identical_submissions_coalesce(self, tmp_path):
+        async def scenario():
+            server = await start_server(ResultStore(tmp_path / "store"), workers=4)
+            host, port = server.address
+            finals = await asyncio.gather(*(
+                asyncio.to_thread(
+                    lambda: list(client.submit(MOTIVATION, host=host, port=port))[-1])
+                for _ in range(3)))
+            await server.drain()
+            return finals, server
+
+        finals, server = asyncio.run(scenario())
+        assert all(final["status"] == "ok" for final in finals)
+        counters = server.telemetry.snapshot()["counters"]
+        assert counters["serve.units.computed"] == 1  # exactly once, ever
+        shared = counters.get("serve.units.deduped", 0) \
+            + counters.get("serve.units.inflight_coalesced", 0)
+        assert counters["serve.units.computed"] + shared == 3
+        assert len({json.dumps(final["points"], sort_keys=True) for final in finals}) == 1
+
+    def test_invalid_scenario_is_rejected_with_zero_units_scheduled(self, tmp_path):
+        async def scenario():
+            server = await start_server(ResultStore(tmp_path / "store"))
+            host, port = server.address
+            with pytest.raises(ServerRequestError) as excinfo:
+                await asyncio.to_thread(
+                    lambda: list(client.submit({"kind": "nope"}, host=host, port=port)))
+            await server.drain()
+            return excinfo.value, server
+
+        error, server = asyncio.run(scenario())
+        assert error.code == 400
+        assert "kind" in str(error)
+        counters = server.telemetry.snapshot()["counters"]
+        assert counters["serve.requests.rejected"] == 1
+        assert "serve.units.computed" not in counters  # nothing was scheduled
+        assert server.store.entries() == []
+
+    def test_malformed_envelope_is_rejected_before_validation(self, tmp_path):
+        async def scenario():
+            server = await start_server(ResultStore(tmp_path / "store"))
+            host, port = server.address
+            status, headers, reader = await asyncio.to_thread(
+                client._http_request, server.address[0], port, "POST", "/submit",
+                b"this is not json")
+            body = await asyncio.to_thread(reader.read)
+            reader.close()
+            await server.drain()
+            return status, body
+
+        status, body = asyncio.run(scenario())
+        assert status == 400
+        event = json.loads(body)
+        assert event["event"] == "error" and "JSON" in event["message"]
+
+
+class TestDrain:
+    def test_drain_releases_every_claim_and_scratch_file(self, tmp_path):
+        async def scenario():
+            store = ResultStore(tmp_path / "store")
+            server = await start_server(store)
+            host, port = server.address
+            await asyncio.to_thread(
+                lambda: list(client.submit(MOTIVATION, host=host, port=port)))
+            await server.drain()
+            return store, server
+
+        store, server = asyncio.run(scenario())
+        assert store.claims() == []
+        assert list(store._scratch_paths()) == []
+        assert server.registry == {}
+        assert len(store.entries()) == 1  # the computed unit survived the drain
+
+    def test_draining_server_rejects_new_submissions_with_503(self, tmp_path):
+        async def scenario():
+            server = await start_server(ResultStore(tmp_path / "store"))
+            await server.drain()
+            from repro.server.protocol import ProtocolError
+            with pytest.raises(ProtocolError) as excinfo:
+                await server.submit_document(MOTIVATION)
+            return excinfo.value.code
+
+        assert asyncio.run(scenario()) == 503
+
+
+class TestMemoryStoreBackend:
+    def test_server_runs_storeless(self):
+        async def scenario():
+            server = await start_server(MemoryStore())
+            host, port = server.address
+            events = await asyncio.to_thread(
+                lambda: list(client.submit(MOTIVATION, host=host, port=port)))
+            again = await asyncio.to_thread(
+                lambda: list(client.submit(MOTIVATION, host=host, port=port)))
+            await server.drain()
+            return events[-1], again[-1]
+
+        first, second = asyncio.run(scenario())
+        assert first["computed"] == 1
+        assert second["deduped"] == 1

@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.cli import build_parser, main
 from repro.telemetry import read_jsonl, read_manifests
 
@@ -67,6 +69,39 @@ class TestRunTelemetry:
         (manifest,) = read_manifests(store)
         assert manifest["scenario"] == "motivation-telemetry"
         assert "stage_timings" not in manifest and "counters" not in manifest
+
+    def test_same_named_specs_get_distinct_jsonl_files(self, capsys, tmp_path):
+        """Two spec files sharing a scenario name must not overwrite each
+        other's derived telemetry dump — the second gets a suffixed path."""
+        dir_a = tmp_path / "a"
+        dir_b = tmp_path / "b"
+        dir_a.mkdir()
+        dir_b.mkdir()
+        spec_a = write_spec(dir_a, MOTIVATION)
+        spec_b = write_spec(dir_b, MOTIVATION)  # same scenario name, other file
+        store = tmp_path / "store"
+        with pytest.warns(RuntimeWarning, match="would collide"):
+            assert main(["run", spec_a, spec_b, "--store", str(store),
+                         "--telemetry"]) == 0
+        capsys.readouterr()
+        dumps = sorted((store / "telemetry").glob("*.jsonl"))
+        names = {dump.name for dump in dumps}
+        assert len(dumps) == 2
+        assert "motivation-telemetry.jsonl" in names  # the first claimant keeps it
+        assert any(name.startswith("motivation-telemetry-") for name in names)
+        for dump in dumps:  # each file holds exactly one run's records
+            (record,) = read_jsonl(dump)
+            assert record["scenario"] == "motivation-telemetry"
+
+    def test_rerunning_one_spec_reuses_its_derived_path(self, capsys, tmp_path):
+        spec = write_spec(tmp_path, MOTIVATION)
+        store = tmp_path / "store"
+        assert main(["run", spec, "--store", str(store), "--telemetry"]) == 0
+        assert main(["run", spec, "--store", str(store), "--telemetry"]) == 0
+        capsys.readouterr()
+        dumps = sorted((store / "telemetry").glob("*.jsonl"))
+        assert [dump.name for dump in dumps] == ["motivation-telemetry.jsonl"]
+        assert len(read_jsonl(dumps[0])) == 2  # appended, never forked
 
     def test_no_store_run_writes_no_manifest(self, capsys, tmp_path):
         spec = write_spec(tmp_path, MOTIVATION)
